@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench experiments quick-experiments fmt vet
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# One testing.B benchmark per paper figure, plus ablations and
+# per-package microbenchmarks.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper into ./results (see
+# EXPERIMENTS.md). The full run takes hours on one core; use
+# quick-experiments for a smoke pass.
+experiments:
+	go run ./cmd/experiments all
+
+quick-experiments:
+	go run ./cmd/experiments -quick all
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...

@@ -1,0 +1,101 @@
+package semsim
+
+import (
+	"fmt"
+	"testing"
+
+	"semsim/internal/bench"
+	"semsim/internal/logicnet"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// adaptive threshold alpha, the periodic full-refresh interval, and the
+// Fenwick-tree event selection. Run with
+//
+//	go test -bench=Ablation -benchmem
+//
+// Larger alpha means fewer rate recalculations (faster, less accurate);
+// the refresh interval bounds the accumulated error; the Fenwick tree
+// makes selection cost logarithmic instead of linear.
+
+func ablationWorkload(b *testing.B) *logicnet.Expanded {
+	b.Helper()
+	bm, ok := bench.ByName("74LS153")
+	if !ok {
+		b.Fatal("missing benchmark")
+	}
+	ex, err := bench.BuildWorkload(bm, logicnet.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ex
+}
+
+// BenchmarkAblationAlpha sweeps the adaptive testing-factor threshold.
+func BenchmarkAblationAlpha(b *testing.B) {
+	ex := ablationWorkload(b)
+	for _, alpha := range []float64{0.01, 0.05, 0.2} {
+		b.Run(fmt.Sprintf("alpha=%g", alpha), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := NewSim(ex.Circuit, Options{
+					Temp: bench.WorkloadTemp, Seed: uint64(i),
+					Adaptive: true, Alpha: alpha,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(2000, 0); err != nil && err != ErrBlockaded {
+					b.Fatal(err)
+				}
+				st := s.Stats()
+				b.ReportMetric(float64(st.RateCalcs)/float64(st.Events), "ratecalcs/event")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRefresh sweeps the periodic full-refresh interval.
+func BenchmarkAblationRefresh(b *testing.B) {
+	ex := ablationWorkload(b)
+	for _, every := range []int{128, 1024, 8192} {
+		b.Run(fmt.Sprintf("refresh=%d", every), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := NewSim(ex.Circuit, Options{
+					Temp: bench.WorkloadTemp, Seed: uint64(i),
+					Adaptive: true, RefreshEvery: every,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(2000, 0); err != nil && err != ErrBlockaded {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCotunneling measures the cost of enabling
+// second-order channels on a single device.
+func BenchmarkAblationCotunneling(b *testing.B) {
+	for _, cot := range []bool{false, true} {
+		b.Run(fmt.Sprintf("cotunnel=%v", cot), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, _ := NewSET(SETConfig{
+					R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+					Vs: 0.01, Vd: -0.01,
+				})
+				s, err := NewSim(c, Options{Temp: 2, Seed: uint64(i), Cotunneling: cot})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(2000, 0); err != nil && err != ErrBlockaded {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Command benchgen lists the paper's 15 logic benchmarks and can emit
+// any of them as a gate-level netlist for inspection or external use.
+//
+// Usage:
+//
+//	benchgen            # table of all benchmarks
+//	benchgen c432       # print the c432 gate netlist
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"semsim"
+)
+
+func main() {
+	if len(os.Args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgen [name]")
+		os.Exit(2)
+	}
+	if len(os.Args) == 2 {
+		emit(os.Args[1])
+		return
+	}
+	fmt.Printf("%-18s %10s %8s %8s %8s\n", "benchmark", "junctions", "SETs", "gates", "inputs")
+	for _, b := range semsim.Benchmarks() {
+		fmt.Printf("%-18s %10d %8d %8d %8d\n",
+			b.Name, b.Netlist.NumJunctions(), b.Netlist.NumSETs(),
+			len(b.Netlist.Gates), len(b.Netlist.Inputs))
+	}
+}
+
+func emit(name string) {
+	b, ok := semsim.BenchmarkByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchgen: unknown benchmark %q\n", name)
+		os.Exit(1)
+	}
+	fmt.Printf("name %s\n", b.Name)
+	fmt.Print("input")
+	for _, in := range b.Netlist.Inputs {
+		fmt.Printf(" %s", in)
+	}
+	fmt.Println()
+	fmt.Print("output")
+	for _, out := range b.Netlist.Outputs {
+		fmt.Printf(" %s", out)
+	}
+	fmt.Println()
+	for _, g := range b.Netlist.Gates {
+		fmt.Printf("%s = %s", g.Out, g.Kind)
+		for _, in := range g.In {
+			fmt.Printf(" %s", in)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+
+	"semsim"
+	"semsim/internal/numeric"
+	"semsim/internal/units"
+)
+
+// fig1b regenerates the Fig. 1b I-V family: a normal-state SET with
+// R1 = R2 = 1 MOhm, C1 = C2 = 1 aF, Cg = 3 aF at T = 5 K under a
+// symmetric bias, for gate voltages 0, 10, 20 and 30 mV.
+func fig1b() error {
+	return ivFamily("fig1b.dat", semsim.SuperParams{}, 5.0, 0.04)
+}
+
+// fig1c is the superconducting counterpart (Fig. 1c): the same device
+// at T = 50 mK with Delta(0) = 0.2 meV and Tc = 1.2 K. The suppressed
+// region widens by the superconducting gap.
+func fig1c() error {
+	return ivFamily("fig1c.dat", semsim.SuperParams{GapAt0: units.MeV(0.2), Tc: 1.2}, 0.05, 0.04)
+}
+
+func ivFamily(file string, sp semsim.SuperParams, temp, vmax float64) error {
+	gateVs := []float64{0, 0.01, 0.02, 0.03}
+	nPts := 81
+	events := uint64(40000)
+	if *quick {
+		nPts = 21
+		events = 6000
+	}
+	xs := numeric.Linspace(-vmax, vmax, nPts)
+
+	curves := make([][]semsim.SweepPoint, len(gateVs))
+	for gi, vg := range gateVs {
+		build := func(vds float64) (*semsim.Circuit, int, error) {
+			c, nd := semsim.NewSET(semsim.SETConfig{
+				R1: 1e6, C1: 1e-18, R2: 1e6, C2: 1e-18, Cg: 3e-18,
+				Vs: vds / 2, Vd: -vds / 2, Vg: vg,
+				Super: sp,
+			})
+			return c, nd.JuncDrain, nil
+		}
+		pts, err := semsim.IV(build, xs, semsim.SweepConfig{
+			Options:    semsim.Options{Temp: temp, Seed: 1000 * uint64(gi)},
+			WarmEvents: events / 5,
+			Events:     events,
+			MaxTime:    2e-3,
+		})
+		if err != nil {
+			return err
+		}
+		curves[gi] = pts
+	}
+
+	f, done := datFile(file)
+	defer done()
+	fmt.Fprintf(f, "# SET I-V family, T=%g K", temp)
+	if sp.Superconducting() {
+		fmt.Fprintf(f, ", superconducting Delta(0)=%g meV Tc=%g K", units.ToMeV(sp.GapAt0), sp.Tc)
+	}
+	fmt.Fprintln(f)
+	fmt.Fprint(f, "# Vds(V)")
+	for _, vg := range gateVs {
+		fmt.Fprintf(f, " I@Vg=%gV(A)", vg)
+	}
+	fmt.Fprintln(f)
+	for i, x := range xs {
+		fmt.Fprintf(f, "%+.6e", x)
+		for gi := range gateVs {
+			fmt.Fprintf(f, " %+.6e", curves[gi][i].I)
+		}
+		fmt.Fprintln(f)
+	}
+
+	// Console summary: blockade width per curve (span where |I| is
+	// below 2% of the edge current).
+	for gi, vg := range gateVs {
+		edge := abs(curves[gi][len(xs)-1].I)
+		lo, hi := 0.0, 0.0
+		for _, p := range curves[gi] {
+			if abs(p.I) < 0.02*edge {
+				if lo == 0 {
+					lo = p.X
+				}
+				hi = p.X
+			}
+		}
+		fmt.Printf("Vg=%5.3f V: I(+%gmV)=%.3e A, suppressed region ~[%.1f, %.1f] mV\n",
+			vg, vmax*1e3, curves[gi][len(xs)-1].I, lo*1e3, hi*1e3)
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,192 @@
+// Command stability computes a two-dimensional stability diagram from
+// a netlist deck: it sweeps the DC sources on two nodes over a grid and
+// writes the recorded junction current (or its numerical dI/dV — the
+// classic Coulomb-diamond view) at every point. Grid points run in
+// parallel with deterministic seeds.
+//
+// Usage:
+//
+//	stability -x 1 -xmax 0.002 -y 2 -ymax 0.01 [-nx 41 -ny 31] [-g] input.cir
+//
+// Output: a whitespace matrix (rows = y, cols = x) preceded by header
+// comments, suitable for gnuplot's `plot '...' matrix nonuniform`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"semsim"
+	"semsim/internal/numeric"
+)
+
+var (
+	xNode = flag.Int("x", -1, "netlist node whose DC source sweeps along x (required)")
+	yNode = flag.Int("y", -1, "netlist node whose DC source sweeps along y (required)")
+	xMin  = flag.Float64("xmin", 0, "x sweep start (V)")
+	xMax  = flag.Float64("xmax", 0, "x sweep end (V, required)")
+	yMin  = flag.Float64("ymin", 0, "y sweep start (V)")
+	yMax  = flag.Float64("ymax", 0, "y sweep end (V, required)")
+	nx    = flag.Int("nx", 41, "x grid points")
+	ny    = flag.Int("ny", 31, "y grid points")
+	deriv = flag.Bool("g", false, "output dI/dVx (Coulomb-diamond conductance) instead of current")
+	out   = flag.String("o", "", "output file (default stdout)")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: stability -x N -xmax V -y M -ymax V [flags] input.cir")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 || *xNode < 0 || *yNode < 0 || *xMax <= *xMin || *yMax <= *yMin {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	deck, err := semsim.ParseNetlist(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(deck.Spec.RecordJuncs) == 0 {
+		fatal(fmt.Errorf("deck must record at least one junction"))
+	}
+	rec := deck.Spec.RecordJuncs[0]
+	if deck.Spec.Jumps == 0 && deck.Spec.MaxTime == 0 {
+		fatal(fmt.Errorf("deck must set 'jumps' and/or 'time'"))
+	}
+
+	xs := numeric.Linspace(*xMin, *xMax, *nx)
+	ys := numeric.Linspace(*yMin, *yMax, *ny)
+	grid := make([][]float64, len(ys))
+	for i := range grid {
+		grid[i] = make([]float64, len(xs))
+	}
+
+	type job struct{ ix, iy int }
+	jobs := make(chan job)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				i, err := point(deck, xs[j.ix], ys[j.iy], rec, uint64(j.iy*len(xs)+j.ix))
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					continue
+				}
+				grid[j.iy][j.ix] = i
+			}
+		}()
+	}
+	for iy := range ys {
+		for ix := range xs {
+			jobs <- job{ix, iy}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		fatal(err)
+	default:
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	what := "I(A)"
+	if *deriv {
+		what = "dI/dVx (S)"
+		for iy := range grid {
+			row := grid[iy]
+			d := make([]float64, len(row))
+			for ix := range row {
+				lo, hi := max(0, ix-1), min(len(row)-1, ix+1)
+				d[ix] = (row[hi] - row[lo]) / (xs[hi] - xs[lo])
+			}
+			grid[iy] = d
+		}
+	}
+	fmt.Fprintf(w, "# stability diagram of %s: %s of junction %d\n", flag.Arg(0), what, rec)
+	fmt.Fprintf(w, "# x: node %d, %g..%g V (%d); y: node %d, %g..%g V (%d)\n",
+		*xNode, *xMin, *xMax, *nx, *yNode, *yMin, *yMax, *ny)
+	for iy, vy := range ys {
+		fmt.Fprintf(w, "%.6e", vy)
+		for ix := range xs {
+			fmt.Fprintf(w, " %.5e", grid[iy][ix])
+		}
+		fmt.Fprintln(w)
+		_ = iy
+	}
+}
+
+// point runs one grid point and returns the recorded current.
+func point(deck *semsim.Deck, vx, vy float64, rec int, seed uint64) (float64, error) {
+	cc, err := deck.Compile(map[int]float64{*xNode: vx, *yNode: vy})
+	if err != nil {
+		return 0, err
+	}
+	sp := deck.Spec
+	s, err := semsim.NewSim(cc.Circuit, semsim.Options{
+		Temp:        sp.Temp,
+		Cotunneling: sp.Cotunnel,
+		Adaptive:    sp.Adaptive,
+		Alpha:       sp.Alpha,
+		Seed:        sp.Seed + seed*7919,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.Run(sp.Jumps/5, sp.MaxTime/5); err != nil {
+		if err == semsim.ErrBlockaded {
+			return 0, nil
+		}
+		return 0, err
+	}
+	s.ResetMeasurement()
+	if _, err := s.Run(sp.Jumps, sp.MaxTime); err != nil {
+		if err == semsim.ErrBlockaded {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return s.JunctionCurrent(cc.Junc[rec]), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stability:", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

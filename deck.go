@@ -1,0 +1,118 @@
+package semsim
+
+import (
+	"fmt"
+	"io"
+
+	"semsim/internal/netlist"
+	"semsim/internal/solver"
+)
+
+// Deck is a parsed SPICE-like input file (the paper's Example Input
+// File 1 format; see the netlist documentation in README.md).
+type Deck = netlist.Deck
+
+// CompiledDeck is one instantiation of a deck: a built circuit plus the
+// netlist-number to circuit-id mappings.
+type CompiledDeck = netlist.Compiled
+
+// ParseNetlist reads a simulation deck.
+func ParseNetlist(r io.Reader) (*Deck, error) { return netlist.Parse(r) }
+
+// DeckPoint is one operating point of an executed deck.
+type DeckPoint struct {
+	// SweepV is the swept source value (0 when the deck has no sweep).
+	SweepV float64
+	// Current holds the measured current per recorded junction
+	// (netlist junction ids), averaged over the deck's runs.
+	Current map[int]float64
+	// Blockaded marks points where no event was possible.
+	Blockaded bool
+	// Events is the total tunnel events across runs.
+	Events uint64
+}
+
+// RunDeck executes a deck: for each sweep point (or once, without a
+// sweep) it compiles the circuit, runs the configured number of jumps
+// and/or simulated time for each requested run (distinct seeds), and
+// averages the recorded junction currents.
+func RunDeck(d *Deck) ([]DeckPoint, error) {
+	spec := d.Spec
+	if len(spec.RecordJuncs) == 0 {
+		return nil, fmt.Errorf("semsim: deck records no junctions (add a 'record' line)")
+	}
+	if spec.Jumps == 0 && spec.MaxTime == 0 {
+		return nil, fmt.Errorf("semsim: deck sets neither 'jumps' nor 'time'")
+	}
+
+	var sweepVals []float64
+	if sw := spec.Sweep; sw != nil {
+		for v := -sw.Max; v <= sw.Max+sw.Step/2; v += sw.Step {
+			sweepVals = append(sweepVals, v)
+		}
+	} else {
+		sweepVals = []float64{0}
+	}
+
+	var out []DeckPoint
+	for i, v := range sweepVals {
+		override := map[int]float64{}
+		if sw := spec.Sweep; sw != nil {
+			override[sw.Node] = v
+			if sw.Mirror >= 0 {
+				override[sw.Mirror] = -v
+			}
+		}
+		pt := DeckPoint{SweepV: v, Current: map[int]float64{}}
+		runs := spec.Runs
+		if runs < 1 {
+			runs = 1
+		}
+		for run := 0; run < runs; run++ {
+			cc, err := d.Compile(override)
+			if err != nil {
+				return nil, err
+			}
+			opt := Options{
+				Temp:         spec.Temp,
+				Cotunneling:  spec.Cotunnel,
+				Adaptive:     spec.Adaptive,
+				Alpha:        spec.Alpha,
+				RefreshEvery: spec.RefreshEvery,
+				Seed:         spec.Seed + uint64(i)*1009 + uint64(run)*104729,
+			}
+			s, err := NewSim(cc.Circuit, opt)
+			if err != nil {
+				return nil, err
+			}
+			// Warm up for a fifth of the budget, then measure.
+			warm := spec.Jumps / 5
+			if _, err := s.Run(warm, spec.MaxTime/5); err != nil {
+				if err == solver.ErrBlockaded {
+					pt.Blockaded = true
+					continue
+				}
+				return nil, err
+			}
+			s.ResetMeasurement()
+			n, err := s.Run(spec.Jumps, spec.MaxTime)
+			if err != nil {
+				if err == solver.ErrBlockaded {
+					pt.Blockaded = true
+					continue
+				}
+				return nil, err
+			}
+			pt.Events += n
+			for _, j := range spec.RecordJuncs {
+				cj, ok := cc.Junc[j]
+				if !ok {
+					return nil, fmt.Errorf("semsim: deck records unknown junction %d", j)
+				}
+				pt.Current[j] += s.JunctionCurrent(cj) / float64(runs)
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package semsim_test
+
+import (
+	"fmt"
+	"strings"
+
+	"semsim"
+)
+
+// ExampleNewSET simulates the paper's Fig. 1 single-electron transistor
+// above its Coulomb-blockade threshold and reports whether it conducts.
+func ExampleNewSET() {
+	c, nd := semsim.NewSET(semsim.SETConfig{
+		R1: 1e6, C1: 1e-18,
+		R2: 1e6, C2: 1e-18,
+		Cg: 3e-18,
+		Vs: 0.02, Vd: -0.02, // Vds = 40 mV > threshold e/Csum = 32 mV
+	})
+	sim, err := semsim.NewSim(c, semsim.Options{Temp: 5, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sim.Run(20000, 0); err != nil {
+		panic(err)
+	}
+	fmt.Printf("conducting: %v\n", sim.JunctionCurrent(nd.JuncDrain) > 1e-9)
+	// Output: conducting: true
+}
+
+// ExampleMasterSolve cross-checks a Monte Carlo current against the
+// exact master-equation steady state.
+func ExampleMasterSolve() {
+	mk := func() (*semsim.Circuit, semsim.SETNodes) {
+		return semsim.NewSET(semsim.SETConfig{
+			R1: 1e6, C1: 1e-18, R2: 1e6, C2: 1e-18, Cg: 3e-18,
+			Vs: 0.02, Vd: -0.02,
+		})
+	}
+	cME, _ := mk()
+	exact, err := semsim.MasterSolve(cME, 5, -6, 6)
+	if err != nil {
+		panic(err)
+	}
+	cMC, nd := mk()
+	sim, _ := semsim.NewSim(cMC, semsim.Options{Temp: 5, Seed: 2})
+	sim.Run(20000, 0)
+	sim.ResetMeasurement()
+	sim.Run(100000, 0)
+	mc := sim.JunctionCurrent(nd.JuncDrain)
+	rel := (mc - exact.Current[1]) / exact.Current[1]
+	fmt.Printf("MC within 5%% of exact: %v\n", rel < 0.05 && rel > -0.05)
+	// Output: MC within 5% of exact: true
+}
+
+// ExampleParseLogic expands a NAND gate into single-electron
+// transistors and checks its truth table entry NAND(1,1) = 0.
+func ExampleParseLogic() {
+	nl, err := semsim.ParseLogic(strings.NewReader(
+		"input a b\noutput y\ny = NAND a b\n"))
+	if err != nil {
+		panic(err)
+	}
+	p := semsim.DefaultLogicParams()
+	ex, err := semsim.ExpandLogic(nl, p, map[string]semsim.Source{
+		"a": semsim.DC(p.Vdd()),
+		"b": semsim.DC(p.Vdd()),
+	})
+	if err != nil {
+		panic(err)
+	}
+	sim, _ := semsim.NewSim(ex.Circuit, semsim.Options{Temp: 2, Seed: 3})
+	if _, err := sim.Run(30000, 5e-6); err != nil && err != semsim.ErrBlockaded {
+		panic(err)
+	}
+	fmt.Printf("SETs: %d, NAND(1,1) low: %v\n",
+		ex.NumSETs, sim.Potential(ex.Wire["y"]) < ex.LogicThreshold())
+	// Output: SETs: 4, NAND(1,1) low: true
+}
+
+// ExampleParseNetlist runs a one-point deck through the SPICE-like
+// front end.
+func ExampleParseNetlist() {
+	deck := `
+junc 1 1 3 1e-6 1e-18
+junc 2 3 2 1e-6 1e-18
+cap 0 3 3e-18
+vdc 1 0.02
+vdc 2 -0.02
+temp 5
+record 2
+jumps 20000
+seed 4
+`
+	d, err := semsim.ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		panic(err)
+	}
+	pts, err := semsim.RunDeck(d)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("points: %d, conducting: %v\n", len(pts), pts[0].Current[2] > 1e-9)
+	// Output: points: 1, conducting: true
+}

@@ -1,0 +1,56 @@
+// sset_jqp reproduces the physics of the paper's Fig. 5 on a single
+// bias trace: a superconducting SET (the Manninen-style device) swept
+// below the quasi-particle threshold shows a Josephson quasi-particle
+// (JQP) resonance — a current peak carried by Cooper-pair tunneling
+// completed by quasi-particle escape.
+//
+//	go run ./examples/sset_jqp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semsim"
+)
+
+func main() {
+	const (
+		aF   = 1e-18
+		temp = 0.52 // kelvin
+		vg   = 0.002
+	)
+
+	fmt.Println("Superconducting SET: R = 210 kOhm, C = 110 aF, Cg = 14 aF,")
+	fmt.Println("Delta(0) = 0.23 meV, Tc = 1.4 K, Qb = 0.65 e, T = 0.52 K, Vg = 2 mV")
+	fmt.Println()
+	fmt.Println("Vbias(mV)     I(pA)   Cooper-pair events")
+	for vb := 0.7e-3; vb <= 1.45e-3; vb += 0.05e-3 {
+		c, nd := semsim.NewSET(semsim.SETConfig{
+			R1: 210e3, C1: 110 * aF,
+			R2: 210e3, C2: 110 * aF,
+			Cg: 14 * aF,
+			Vs: vb, Vd: 0, Vg: vg,
+			Qb:    0.65 * semsim.E,
+			Super: semsim.SuperParams{GapAt0: semsim.MeV(0.23), Tc: 1.4},
+		})
+		sim, err := semsim.NewSim(c, semsim.Options{Temp: temp, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sim.Run(3000, 0); err != nil && err != semsim.ErrBlockaded {
+			log.Fatal(err)
+		}
+		sim.ResetMeasurement()
+		if _, err := sim.Run(15000, 1e-3); err != nil && err != semsim.ErrBlockaded {
+			log.Fatal(err)
+		}
+		st := sim.Stats()
+		fmt.Printf("%8.2f  %9.2f   %d\n",
+			vb*1e3, sim.JunctionCurrent(nd.JuncDrain)*1e12, st.CooperEvents)
+	}
+	fmt.Println()
+	fmt.Println("The sub-threshold peak near 1.1 mV rides on Cooper-pair events (the")
+	fmt.Println("JQP cycle); above ~1.3 mV the quasi-particle channel opens and the")
+	fmt.Println("current rises monotonically.")
+}

@@ -1,0 +1,47 @@
+// thermal_washout sweeps temperature to show the Coulomb blockade
+// washing out: sharp suppression at kT << Ec, ohmic conduction at
+// kT >> Ec. The crossover tracks the charging energy Ec = e^2/2Csum
+// (~ 185 K for this device) — the knob that decides whether a SET
+// works at 4 K or at room temperature.
+//
+//	go run ./examples/thermal_washout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semsim"
+)
+
+func main() {
+	const aF = 1e-18
+	// Bias at half the blockade threshold: conduction here is purely
+	// thermally activated.
+	const vds = 0.016
+
+	ec := semsim.E * semsim.E / (2 * 5 * aF)
+	fmt.Printf("SET at Vds = %.0f mV (threshold 32 mV), Ec/kB = %.0f K\n\n", vds*1e3, ec/semsim.KB)
+	fmt.Println("   T(K)    kT/Ec     I(A)        I/Iohmic")
+	iOhm := vds / 2e6
+	for _, temp := range []float64{2, 5, 10, 20, 50, 100, 200, 400} {
+		c, nd := semsim.NewSET(semsim.SETConfig{
+			R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+			Vs: vds / 2, Vd: -vds / 2,
+		})
+		s, err := semsim.NewSim(c, semsim.Options{Temp: temp, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := s.Run(4000, 1e-3); err != nil && err != semsim.ErrBlockaded {
+			log.Fatal(err)
+		}
+		s.ResetMeasurement()
+		if _, err := s.Run(40000, 1e-2); err != nil && err != semsim.ErrBlockaded {
+			log.Fatal(err)
+		}
+		i := s.JunctionCurrent(nd.JuncDrain)
+		fmt.Printf("%7.0f  %7.3f   %.3e   %8.4f\n", temp, semsim.KB*temp/ec, i, i/iOhm)
+	}
+	fmt.Println("\nkT/Ec << 1: blockaded; kT/Ec >~ 1: the device is just two resistors.")
+}

@@ -1,0 +1,3 @@
+module semsim
+
+go 1.22

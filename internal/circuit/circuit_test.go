@@ -1,0 +1,352 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/units"
+)
+
+const (
+	aF = units.Atto
+	e  = units.E
+)
+
+func almost(t *testing.T, name string, got, want, rel float64) {
+	t.Helper()
+	den := math.Abs(want)
+	if den == 0 {
+		den = 1
+	}
+	if math.Abs(got-want)/den > rel {
+		t.Fatalf("%s: got %.12g want %.12g", name, got, want)
+	}
+}
+
+func paperSET(vs, vd, vg float64) (*Circuit, SETNodes) {
+	return NewSET(SETConfig{
+		R1: 1e6, C1: 1 * aF,
+		R2: 1e6, C2: 1 * aF,
+		Cg: 3 * aF,
+		Vs: vs, Vd: vd, Vg: vg,
+	})
+}
+
+func TestSETCapacitanceMatrix(t *testing.T) {
+	c, nd := paperSET(0.01, -0.01, 0)
+	if c.NumIslands() != 1 {
+		t.Fatalf("SET should have 1 island, got %d", c.NumIslands())
+	}
+	csum := c.SumCapacitance(nd.Island)
+	almost(t, "Csigma", csum, 5*aF, 1e-12)
+	almost(t, "Cinv", c.Cinv(nd.Island, nd.Island), 1/(5*aF), 1e-12)
+	// External entries must vanish.
+	if c.Cinv(nd.Source, nd.Island) != 0 || c.Cinv(nd.Source, nd.Source) != 0 {
+		t.Fatal("Cinv involving externals must be zero")
+	}
+}
+
+func TestSETIslandPotential(t *testing.T) {
+	vs, vd, vg := 0.02, -0.02, 0.015
+	c, _ := paperSET(vs, vd, vg)
+	for _, n0 := range []int{-2, 0, 1, 5} {
+		v := c.IslandPotentials(nil, []int{n0}, 0)
+		// v = (Qb - n e + C1 Vs + C2 Vd + Cg Vg)/Csum
+		want := (-float64(n0)*e + aF*vs + aF*vd + 3*aF*vg) / (5 * aF)
+		almost(t, "island potential", v[0], want, 1e-10)
+	}
+}
+
+func TestDeltaWChargingEnergyAtZeroBias(t *testing.T) {
+	c, nd := paperSET(0, 0, 0)
+	v := c.IslandPotentials(nil, []int{0}, 0)
+	vIsl := v[0]
+	// Tunneling an electron onto a neutral island at zero bias costs
+	// exactly the charging energy e^2/(2 Csigma).
+	dw := c.DeltaWElectron(nd.Source, nd.Island, 0, vIsl)
+	almost(t, "dW = Ec", dw, units.ChargingEnergy(5*aF), 1e-10)
+	// And the reverse (island -> lead) with one excess electron is also
+	// +Ec after the potential update; with zero electrons it is +Ec too
+	// by symmetry of the neutral state.
+	dwOff := c.DeltaWElectron(nd.Island, nd.Drain, vIsl, 0)
+	almost(t, "dW off = Ec", dwOff, units.ChargingEnergy(5*aF), 1e-10)
+}
+
+func TestDeltaWGatePeriodicity(t *testing.T) {
+	// Shifting Vg by exactly e/Cg and the electron number by 1 must give
+	// identical tunneling energetics (the Coulomb oscillation period).
+	period := units.GatePeriod(3 * aF)
+	c1, nd1 := paperSET(0.002, -0.002, 0)
+	c2, nd2 := paperSET(0.002, -0.002, period)
+	v1 := c1.IslandPotentials(nil, []int{0}, 0)
+	v2 := c2.IslandPotentials(nil, []int{1}, 0)
+	dw1 := c1.DeltaWElectron(nd1.Source, nd1.Island, c1.SourceVoltage(nd1.Source, 0), v1[0])
+	dw2 := c2.DeltaWElectron(nd2.Source, nd2.Island, c2.SourceVoltage(nd2.Source, 0), v2[0])
+	almost(t, "gate periodicity", dw2, dw1, 1e-9)
+}
+
+func TestDeltaWDetailedBalanceStructure(t *testing.T) {
+	// dW(src->dst) evaluated before the event, plus dW(dst->src)
+	// evaluated after the event, must sum to zero (microreversibility).
+	c, nd := paperSET(0.005, -0.005, 0.003)
+	n := []int{0}
+	v := c.IslandPotentials(nil, n, 0)
+	fwd := c.DeltaWElectron(nd.Source, nd.Island, c.SourceVoltage(nd.Source, 0), v[0])
+	c.ApplyTransfer(n, nd.Source, nd.Island, 1)
+	v = c.IslandPotentials(v, n, 0)
+	bwd := c.DeltaWElectron(nd.Island, nd.Source, v[0], c.SourceVoltage(nd.Source, 0))
+	if math.Abs(fwd+bwd) > 1e-30 {
+		t.Fatalf("microreversibility violated: fwd %g + bwd %g = %g", fwd, bwd, fwd+bwd)
+	}
+}
+
+func TestPotentialShiftMatchesRecompute(t *testing.T) {
+	// Build a two-island chain: lead - J - isl0 - J - isl1 - J - lead,
+	// with a cross capacitor, and verify incremental potential updates
+	// match full recomputation after a tunneling event.
+	c := New()
+	l0 := c.AddNode("l0", External)
+	l1 := c.AddNode("l1", External)
+	g := c.AddNode("g", External)
+	i0 := c.AddNode("i0", Island)
+	i1 := c.AddNode("i1", Island)
+	c.SetSource(l0, DC(0.01))
+	c.SetSource(l1, DC(-0.01))
+	c.SetSource(g, DC(0.004))
+	c.AddJunction(l0, i0, 1e6, 1*aF)
+	c.AddJunction(i0, i1, 2e6, 1.5*aF)
+	c.AddJunction(i1, l1, 1e6, 0.8*aF)
+	c.AddCap(g, i0, 2*aF)
+	c.AddCap(i0, i1, 0.5*aF)
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	n := []int{0, 0}
+	v0 := c.IslandPotentials(nil, n, 0)
+	// Electron hops i0 -> i1.
+	var shift [2]float64
+	for k := 0; k < 2; k++ {
+		shift[k] = c.PotentialShift(k, i0, i1, e)
+	}
+	c.ApplyTransfer(n, i0, i1, 1)
+	v1 := c.IslandPotentials(nil, n, 0)
+	for k := 0; k < 2; k++ {
+		almost(t, "incremental potential", v0[k]+shift[k], v1[k], 1e-9)
+	}
+}
+
+func TestExternalDelta(t *testing.T) {
+	c, _ := paperSET(0.01, -0.01, 0)
+	n := []int{0}
+	vA := c.IslandPotentials(nil, n, 0)
+	// Manually evaluate what the island potential would be with a
+	// different gate voltage using ExternalDelta.
+	vext0 := c.ExternalVoltages(nil, 0)
+	vext1 := append([]float64(nil), vext0...)
+	// Gate is the third external added (order: source, drain, gate).
+	vext1[2] += 0.005
+	d := make([]float64, 1)
+	c.ExternalDelta(d, vext0, vext1)
+	c2, _ := paperSET(0.01, -0.01, 0.005)
+	vB := c2.IslandPotentials(nil, n, 0)
+	almost(t, "external delta", vA[0]+d[0], vB[0], 1e-10)
+}
+
+func TestTwoIslandCinvAgainstHandComputation(t *testing.T) {
+	// islands i0, i1: i0 grounded via 2 aF, i1 grounded via 1 aF,
+	// mutual 1 aF. C = [[3, -1], [-1, 2]] aF; det = 5 aF^2;
+	// Cinv = 1/(5 aF) * [[2, 1], [1, 3]].
+	c := New()
+	gnd := c.AddNode("gnd", External)
+	c.SetSource(gnd, DC(0))
+	i0 := c.AddNode("i0", Island)
+	i1 := c.AddNode("i1", Island)
+	c.AddJunction(gnd, i0, 1e6, 2*aF)
+	c.AddJunction(gnd, i1, 1e6, 1*aF)
+	c.AddCap(i0, i1, 1*aF)
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "Cinv00", c.Cinv(i0, i0), 2/(5*aF), 1e-12)
+	almost(t, "Cinv01", c.Cinv(i0, i1), 1/(5*aF), 1e-12)
+	almost(t, "Cinv11", c.Cinv(i1, i1), 3/(5*aF), 1e-12)
+}
+
+func TestBackgroundChargeShiftsPotential(t *testing.T) {
+	cfg := SETConfig{R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF}
+	c0, _ := NewSET(cfg)
+	cfg.Qb = 0.65 * e
+	cQ, _ := NewSET(cfg)
+	v0 := c0.IslandPotentials(nil, []int{0}, 0)
+	vQ := cQ.IslandPotentials(nil, []int{0}, 0)
+	almost(t, "Qb potential shift", vQ[0]-v0[0], 0.65*e/(5*aF), 1e-10)
+}
+
+func TestAdjacency(t *testing.T) {
+	// Chain of three junctions: J0 and J1 share island i0; J1 and J2
+	// share island i1; a capacitor links i1 to i2 where J3 sits.
+	c := New()
+	lead := c.AddNode("lead", External)
+	c.SetSource(lead, DC(0))
+	i0 := c.AddNode("i0", Island)
+	i1 := c.AddNode("i1", Island)
+	i2 := c.AddNode("i2", Island)
+	lead2 := c.AddNode("lead2", External)
+	c.SetSource(lead2, DC(0))
+	j0 := c.AddJunction(lead, i0, 1e6, aF)
+	j1 := c.AddJunction(i0, i1, 1e6, aF)
+	j2 := c.AddJunction(i1, lead2, 1e6, aF)
+	c.AddCap(i1, i2, aF)
+	j3 := c.AddJunction(i2, lead2, 1e6, aF)
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	has := func(list []int, want int) bool {
+		for _, v := range list {
+			if v == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(c.JunctionNeighbors(j0), j1) {
+		t.Fatal("j0 should neighbour j1 (shared island)")
+	}
+	if has(c.JunctionNeighbors(j0), j2) {
+		t.Fatal("j0 should not directly neighbour j2")
+	}
+	if !has(c.JunctionNeighbors(j1), j3) {
+		t.Fatal("j1 should neighbour j3 through the capacitor at i1-i2")
+	}
+	if !has(c.JunctionNeighbors(j2), j3) {
+		t.Fatal("j2 should neighbour j3 (shared lead2 and cap)")
+	}
+	if js := c.JunctionsAt(i1); len(js) != 2 {
+		t.Fatalf("JunctionsAt(i1) = %v, want 2 junctions", js)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	// External without source.
+	c := New()
+	c.AddNode("lead", External)
+	i := c.AddNode("i", Island)
+	_ = i
+	if err := c.Build(); err == nil {
+		t.Fatal("build accepted external without source")
+	}
+	// No islands.
+	c2 := New()
+	a := c2.AddNode("a", External)
+	c2.SetSource(a, DC(0))
+	if err := c2.Build(); err == nil {
+		t.Fatal("build accepted circuit without islands")
+	}
+	// Island with no capacitance at all -> singular matrix.
+	c3 := New()
+	g := c3.AddNode("g", External)
+	c3.SetSource(g, DC(0))
+	c3.AddNode("floating", Island)
+	i2 := c3.AddNode("ok", Island)
+	c3.AddJunction(g, i2, 1e6, aF)
+	if err := c3.Build(); err == nil {
+		t.Fatal("build accepted island with no capacitance")
+	}
+	// Double build.
+	c4, _ := paperSET(0, 0, 0)
+	if err := c4.Build(); err == nil {
+		t.Fatal("second Build did not error")
+	}
+}
+
+func TestConstructionPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	c := New()
+	a := c.AddNode("a", External)
+	b := c.AddNode("b", Island)
+	expectPanic("self junction", func() { c.AddJunction(a, a, 1e6, aF) })
+	expectPanic("zero R", func() { c.AddJunction(a, b, 0, aF) })
+	expectPanic("zero C", func() { c.AddJunction(a, b, 1e6, 0) })
+	expectPanic("zero cap", func() { c.AddCap(a, b, 0) })
+	expectPanic("bad node", func() { c.AddJunction(a, 99, 1e6, aF) })
+	expectPanic("source on island", func() { c.SetSource(b, DC(0)) })
+	expectPanic("bg charge on external", func() { c.SetBackgroundCharge(a, e) })
+}
+
+func TestSources(t *testing.T) {
+	if v := (DC(0.5)).V(123); v != 0.5 {
+		t.Fatalf("DC: %g", v)
+	}
+	if !(DC(0.5)).Static() {
+		t.Fatal("DC must be static")
+	}
+	s := Sine{Offset: 1, Amp: 2, Freq: 1}
+	almost(t, "sine t=0", s.V(0), 1, 1e-12)
+	almost(t, "sine quarter", s.V(0.25), 3, 1e-9)
+	if s.Static() {
+		t.Fatal("sine with amplitude is not static")
+	}
+	if !(Sine{Offset: 1}).Static() {
+		t.Fatal("zero-amplitude sine is static")
+	}
+	p := PWL{T: []float64{0, 1e-9, 2e-9}, Volt: []float64{0, 1, 1}}
+	almost(t, "pwl before", p.V(-1), 0, 1e-12)
+	almost(t, "pwl mid", p.V(0.5e-9), 0.5, 1e-12)
+	almost(t, "pwl after", p.V(5e-9), 1, 1e-12)
+	if p.Static() {
+		t.Fatal("stepping PWL is not static")
+	}
+	if !(PWL{T: []float64{0, 1}, Volt: []float64{2, 2}}).Static() {
+		t.Fatal("flat PWL is static")
+	}
+}
+
+func TestAllSourcesStatic(t *testing.T) {
+	c, _ := paperSET(0.01, -0.01, 0)
+	if !c.AllSourcesStatic() {
+		t.Fatal("DC-only SET should be static")
+	}
+	c2 := New()
+	lead := c2.AddNode("in", External)
+	c2.SetSource(lead, PWL{T: []float64{0, 1e-9}, Volt: []float64{0, 0.1}})
+	isl := c2.AddNode("i", Island)
+	c2.AddJunction(lead, isl, 1e6, aF)
+	gnd := c2.AddNode("gnd", External)
+	c2.SetSource(gnd, DC(0))
+	c2.AddCap(isl, gnd, aF)
+	if err := c2.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if c2.AllSourcesStatic() {
+		t.Fatal("PWL-driven circuit reported static")
+	}
+}
+
+func TestCooperPairDeltaW(t *testing.T) {
+	// A Cooper pair (charge 2e) at zero bias costs 4x the single
+	// electron charging energy: (2e)^2/2C = 4 e^2/2C.
+	c, nd := paperSET(0, 0, 0)
+	v := c.IslandPotentials(nil, []int{0}, 0)
+	dw1 := c.DeltaW(nd.Source, nd.Island, e, 0, v[0])
+	dw2 := c.DeltaW(nd.Source, nd.Island, 2*e, 0, v[0])
+	almost(t, "pair charging", dw2, 4*dw1, 1e-10)
+}
+
+func TestNodePotential(t *testing.T) {
+	c, nd := paperSET(0.02, -0.02, 0.01)
+	v := c.IslandPotentials(nil, []int{0}, 0)
+	if got := c.NodePotential(nd.Source, v, 0); got != 0.02 {
+		t.Fatalf("source potential: %g", got)
+	}
+	if got := c.NodePotential(nd.Island, v, 0); got != v[0] {
+		t.Fatalf("island potential passthrough: %g vs %g", got, v[0])
+	}
+}

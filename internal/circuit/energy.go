@@ -1,0 +1,54 @@
+package circuit
+
+import "semsim/internal/units"
+
+// DeltaW returns the change in free energy (joules) for a carrier of
+// charge -q (q > 0: q = e for electrons and quasi-particles, q = 2e for
+// Cooper pairs) to tunnel from node src to node dst, given the node
+// potentials before the event. This is Eq. 2 of the paper generalized
+// to arbitrary carrier charge:
+//
+//	dW = -q (v_dst - v_src) + (Cinv_ss - 2 Cinv_sd + Cinv_dd) q^2 / 2
+//
+// Cinv entries involving external nodes are zero, which folds the
+// island/lead special cases of the orthodox theory into one formula.
+func (c *Circuit) DeltaW(src, dst int, q, vSrc, vDst float64) float64 {
+	self := c.Cinv(src, src) - 2*c.Cinv(src, dst) + c.Cinv(dst, dst)
+	return -q*(vDst-vSrc) + self*q*q/2
+}
+
+// DeltaWElectron is DeltaW for a single electron.
+func (c *Circuit) DeltaWElectron(src, dst int, vSrc, vDst float64) float64 {
+	return c.DeltaW(src, dst, units.E, vSrc, vDst)
+}
+
+// PotentialShift returns the change of island potential at matrix row k
+// caused by moving m carriers of charge -q from node src to node dst
+// (island charge at src rises by +m*q, at dst falls by -m*q):
+//
+//	dv_k = m*q * (Cinv_k,src - Cinv_k,dst)
+//
+// src/dst are node ids; external endpoints contribute nothing.
+func (c *Circuit) PotentialShift(k int, src, dst int, mq float64) float64 {
+	row := c.cinv.Row(k)
+	acc := 0.0
+	if i := c.islandIdx[src]; i >= 0 {
+		acc += row[i]
+	}
+	if i := c.islandIdx[dst]; i >= 0 {
+		acc -= row[i]
+	}
+	return mq * acc
+}
+
+// ApplyTransfer updates the electron-count vector n (island order) for
+// m electrons moving from node src to node dst. External endpoints are
+// charge reservoirs and are not tracked.
+func (c *Circuit) ApplyTransfer(n []int, src, dst, m int) {
+	if i := c.islandIdx[src]; i >= 0 {
+		n[i] -= m
+	}
+	if i := c.islandIdx[dst]; i >= 0 {
+		n[i] += m
+	}
+}

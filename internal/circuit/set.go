@@ -1,0 +1,63 @@
+package circuit
+
+// SETConfig describes a single-electron transistor: one island coupled
+// to source and drain leads through two tunnel junctions and to a gate
+// through a capacitor (Fig. 1a of the paper).
+type SETConfig struct {
+	R1, C1 float64 // source junction
+	R2, C2 float64 // drain junction
+	Cg     float64 // gate capacitance
+	// Cg2 optionally adds a second gate (used by the nSET/pSET logic
+	// family, which biases the second gate to shift the I-V curve).
+	Cg2 float64
+	// Vs, Vd, Vg are the DC source, drain and gate voltages. For a
+	// symmetric bias use Vs = +V/2, Vd = -V/2.
+	Vs, Vd, Vg float64
+	// Vg2 is the second-gate bias (only used when Cg2 > 0).
+	Vg2 float64
+	// Qb is the island background charge in coulombs.
+	Qb float64
+	// Super, if non-zero, marks the whole circuit superconducting.
+	Super SuperParams
+}
+
+// SETNodes reports the node and junction ids of a freshly built SET.
+type SETNodes struct {
+	Source, Drain, Gate, Gate2, Island int
+	JuncSource, JuncDrain              int
+}
+
+// NewSET constructs and builds a standalone SET circuit. It panics on
+// invalid parameters (zero R or C) and returns the built circuit with
+// its node map.
+func NewSET(cfg SETConfig) (*Circuit, SETNodes) {
+	c := New()
+	var nd SETNodes
+	nd.Source = c.AddNode("source", External)
+	nd.Drain = c.AddNode("drain", External)
+	nd.Gate = c.AddNode("gate", External)
+	nd.Island = c.AddNode("island", Island)
+	c.SetSource(nd.Source, DC(cfg.Vs))
+	c.SetSource(nd.Drain, DC(cfg.Vd))
+	c.SetSource(nd.Gate, DC(cfg.Vg))
+	nd.JuncSource = c.AddJunction(nd.Source, nd.Island, cfg.R1, cfg.C1)
+	nd.JuncDrain = c.AddJunction(nd.Island, nd.Drain, cfg.R2, cfg.C2)
+	c.AddCap(nd.Gate, nd.Island, cfg.Cg)
+	if cfg.Cg2 > 0 {
+		nd.Gate2 = c.AddNode("gate2", External)
+		c.SetSource(nd.Gate2, DC(cfg.Vg2))
+		c.AddCap(nd.Gate2, nd.Island, cfg.Cg2)
+	} else {
+		nd.Gate2 = -1
+	}
+	if cfg.Qb != 0 {
+		c.SetBackgroundCharge(nd.Island, cfg.Qb)
+	}
+	if cfg.Super.Superconducting() {
+		c.SetSuper(cfg.Super)
+	}
+	if err := c.Build(); err != nil {
+		panic("circuit: NewSET build failed: " + err.Error())
+	}
+	return c, nd
+}

@@ -1,0 +1,109 @@
+// Package cotunnel implements second-order inelastic cotunneling: the
+// coherent transfer of charge through two junctions at once, which
+// carries current through a Coulomb-blockaded device (Section II of the
+// paper). Elastic cotunneling is negligible outside extreme corners of
+// parameter space and is ignored, following the paper.
+//
+// The rate is the Averin–Nazarov finite-temperature result for a
+// double-junction system, generalized with the virtual-state energy
+// denominators evaluated from the actual circuit state (the approach of
+// Fonseca et al. that the paper adopts):
+//
+//	Gamma(dW) = (hbar / (12 pi e^4 R1 R2)) * (1/E1 + 1/E2)^2
+//	            * (dW^2 + (2 pi kT)^2) * dW / (exp(dW/kT) - 1)
+//
+// where E1 and E2 are the (positive) free-energy costs of the two
+// virtual intermediate states and dW is the total free-energy change of
+// the composite event. At T = 0 this reduces to the |dW|^3 law that
+// yields the V^3 cotunneling current; the bracket is even in dW so the
+// rate obeys detailed balance.
+//
+// Following the coexistence principle, a cotunneling channel is active
+// only while both virtual states cost energy (E1, E2 > 0), i.e. while
+// the sequential path is Coulomb-blockaded; otherwise first-order
+// tunneling dominates and the channel rate is zero, avoiding double
+// counting.
+package cotunnel
+
+import (
+	"math"
+
+	"semsim/internal/circuit"
+	"semsim/internal/numeric"
+	"semsim/internal/units"
+)
+
+// Channel is a directed two-junction cotunneling path: an electron
+// leaves node Src, passes virtually through island Mid, and arrives at
+// node Dst. J1 and J2 are the junction ids crossed, in order.
+type Channel struct {
+	J1, J2        int
+	Src, Mid, Dst int
+}
+
+// Channels enumerates every directed cotunneling channel of a built
+// circuit: for each island, every ordered pair of distinct junctions
+// touching it, in both directions, with distinct endpoints.
+func Channels(c *circuit.Circuit) []Channel {
+	var out []Channel
+	for _, isl := range c.Islands() {
+		js := c.JunctionsAt(isl)
+		for _, j1 := range js {
+			for _, j2 := range js {
+				if j1 == j2 {
+					continue
+				}
+				a := otherNode(c.Junction(j1), isl)
+				b := otherNode(c.Junction(j2), isl)
+				if a == b {
+					continue
+				}
+				out = append(out, Channel{J1: j1, J2: j2, Src: a, Mid: isl, Dst: b})
+			}
+		}
+	}
+	return out
+}
+
+func otherNode(j circuit.Junction, node int) int {
+	if j.A == node {
+		return j.B
+	}
+	return j.A
+}
+
+// Rate returns the inelastic cotunneling rate (1/s) for total
+// free-energy change dw (joules), virtual-state costs e1 and e2
+// (joules, must be > 0 for a nonzero rate), junction resistances r1 and
+// r2 (ohms) and temperature t (kelvin).
+func Rate(dw, e1, e2, r1, r2, t float64) float64 {
+	if e1 <= 0 || e2 <= 0 {
+		return 0 // sequential tunneling is allowed; coexistence rule
+	}
+	pref := units.Hbar / (12 * math.Pi * units.E * units.E * units.E * units.E * r1 * r2)
+	den := 1/e1 + 1/e2
+	pref *= den * den
+	if t <= 0 {
+		if dw < 0 {
+			return pref * (-dw) * dw * dw // |dw|^3 for dw < 0
+		}
+		return 0
+	}
+	kT := units.KB * t
+	bracket := dw*dw + (2*math.Pi*kT)*(2*math.Pi*kT)
+	return pref * bracket * kT * numeric.XOverExpm1(dw/kT)
+}
+
+// CurrentT0 returns the analytic zero-temperature cotunneling current
+// magnitude for a symmetric double junction at bias v inside the
+// blockade, used by validation tests and EXPERIMENTS.md:
+//
+//	I = e * Gamma_net = (hbar /(12 pi e^4 R1 R2)) (1/E1+1/E2)^2 (eV)^3 * e
+//
+// with the caller supplying the virtual-state costs.
+func CurrentT0(v, e1, e2, r1, r2 float64) float64 {
+	ev := units.E * math.Abs(v)
+	pref := units.Hbar / (12 * math.Pi * units.E * units.E * units.E * units.E * r1 * r2)
+	den := 1/e1 + 1/e2
+	return units.E * pref * den * den * ev * ev * ev
+}

@@ -1,0 +1,160 @@
+package cotunnel
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/circuit"
+	"semsim/internal/units"
+)
+
+const aF = units.Atto
+
+func TestChannelsOfSET(t *testing.T) {
+	c, nd := circuit.NewSET(circuit.SETConfig{
+		R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+	})
+	chs := Channels(c)
+	// Source->island->drain and drain->island->source.
+	if len(chs) != 2 {
+		t.Fatalf("SET cotunnel channels = %d, want 2", len(chs))
+	}
+	seen := map[[2]int]bool{}
+	for _, ch := range chs {
+		if ch.Mid != nd.Island {
+			t.Fatalf("channel mid %d, want island %d", ch.Mid, nd.Island)
+		}
+		if ch.Src == ch.Dst {
+			t.Fatal("channel endpoints identical")
+		}
+		seen[[2]int{ch.Src, ch.Dst}] = true
+	}
+	if !seen[[2]int{nd.Source, nd.Drain}] || !seen[[2]int{nd.Drain, nd.Source}] {
+		t.Fatalf("missing directed channels: %v", seen)
+	}
+}
+
+func TestChannelsSkipSameEndpoint(t *testing.T) {
+	// Two junctions in parallel between the same lead and island: going
+	// out and back to the same node is not a cotunneling event.
+	c := circuit.New()
+	lead := c.AddNode("lead", circuit.External)
+	c.SetSource(lead, circuit.DC(0))
+	isl := c.AddNode("i", circuit.Island)
+	c.AddJunction(lead, isl, 1e6, aF)
+	c.AddJunction(lead, isl, 1e6, aF)
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if chs := Channels(c); len(chs) != 0 {
+		t.Fatalf("parallel junctions produced %d channels, want 0", len(chs))
+	}
+}
+
+func TestRateZeroOutsideBlockade(t *testing.T) {
+	if Rate(-1e-21, -1e-22, 1e-21, 1e6, 1e6, 1) != 0 {
+		t.Fatal("rate must vanish when a virtual state is free (E1 <= 0)")
+	}
+	if Rate(-1e-21, 1e-21, 0, 1e6, 1e6, 1) != 0 {
+		t.Fatal("rate must vanish when E2 <= 0")
+	}
+}
+
+func TestT0CubicLaw(t *testing.T) {
+	// At T=0 the rate must scale as |dW|^3.
+	e1, e2 := 2e-21, 3e-21
+	r := Rate(-1e-22, e1, e2, 1e6, 1e6, 0)
+	r2 := Rate(-2e-22, e1, e2, 1e6, 1e6, 0)
+	ratio := r2 / r
+	if math.Abs(ratio-8)/8 > 1e-9 {
+		t.Fatalf("T=0 cubic law: doubling dW gave ratio %g, want 8", ratio)
+	}
+	if Rate(1e-22, e1, e2, 1e6, 1e6, 0) != 0 {
+		t.Fatal("T=0 unfavorable cotunneling must be zero")
+	}
+}
+
+func TestDetailedBalance(t *testing.T) {
+	e1, e2 := 2e-21, 2e-21
+	temp := 0.3
+	kT := units.KB * temp
+	for _, x := range []float64{0.2, 1, 3} {
+		dw := x * kT
+		ratio := Rate(dw, e1, e2, 1e6, 1e6, temp) / Rate(-dw, e1, e2, 1e6, 1e6, temp)
+		want := math.Exp(-x)
+		if math.Abs(ratio-want)/want > 1e-9 {
+			t.Fatalf("detailed balance at x=%g: %g want %g", x, ratio, want)
+		}
+	}
+}
+
+func TestFiniteTLimitMatchesT0(t *testing.T) {
+	// For |dW| >> kT the finite-T rate approaches the T=0 form.
+	e1, e2 := 2e-21, 2e-21
+	dw := -5e-21
+	cold := Rate(dw, e1, e2, 1e6, 1e6, 0.001)
+	zero := Rate(dw, e1, e2, 1e6, 1e6, 0)
+	if math.Abs(cold-zero)/zero > 1e-4 {
+		t.Fatalf("1 mK rate %g differs from T=0 rate %g", cold, zero)
+	}
+}
+
+func TestRateSymmetricInDenominators(t *testing.T) {
+	a := Rate(-1e-21, 2e-21, 5e-21, 1e6, 2e6, 0.1)
+	b := Rate(-1e-21, 5e-21, 2e-21, 2e6, 1e6, 0.1)
+	if math.Abs(a-b)/a > 1e-12 {
+		t.Fatalf("rate should be symmetric under (E1,R1)<->(E2,R2): %g vs %g", a, b)
+	}
+}
+
+func TestCurrentT0MatchesRate(t *testing.T) {
+	// e * Gamma(dW=-eV) must equal CurrentT0(V).
+	v := 0.001
+	e1, e2 := 4e-21, 4e-21
+	dw := -units.E * v
+	iFromRate := units.E * Rate(dw, e1, e2, 1e6, 1e6, 0)
+	iAnalytic := CurrentT0(v, e1, e2, 1e6, 1e6)
+	if math.Abs(iFromRate-iAnalytic)/iAnalytic > 1e-12 {
+		t.Fatalf("current mismatch: %g vs %g", iFromRate, iAnalytic)
+	}
+}
+
+func TestThermalEnhancement(t *testing.T) {
+	// At fixed small dW, raising T raises the cotunneling rate (the
+	// (2 pi kT)^2 term) — thermally assisted cotunneling.
+	e1, e2 := 2e-21, 2e-21
+	dw := -1e-23
+	r1 := Rate(dw, e1, e2, 1e6, 1e6, 0.05)
+	r2 := Rate(dw, e1, e2, 1e6, 1e6, 0.5)
+	if r2 <= r1 {
+		t.Fatalf("thermal enhancement absent: %g at 50mK vs %g at 500mK", r1, r2)
+	}
+}
+
+func TestThermalQuadraticLaw(t *testing.T) {
+	// Averin–Nazarov: the net cotunneling current at fixed bias scales
+	// as (eV)^2 + (2 pi kT)^2 — exactly quadratic in temperature. The
+	// detailed-balance structure makes the net rate's thermal bracket
+	// survive intact, so
+	//   [I(T2) - I(T0)] / [I(T1) - I(T0)] = (T2^2 - T0^2)/(T1^2 - T0^2).
+	e1, e2 := 4e-21, 4e-21
+	dw := -1e-23 // small fixed bias
+	net := func(temp float64) float64 {
+		return Rate(dw, e1, e2, 1e6, 1e6, temp) - Rate(-dw, e1, e2, 1e6, 1e6, temp)
+	}
+	i0 := net(0.05)
+	i1 := net(0.20)
+	i2 := net(0.40)
+	got := (i2 - i0) / (i1 - i0)
+	want := (0.40*0.40 - 0.05*0.05) / (0.20*0.20 - 0.05*0.05)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("thermal law not quadratic: ratio %g, want %g", got, want)
+	}
+}
+
+func BenchmarkRate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Rate(-1e-21, 2e-21, 3e-21, 1e6, 1e6, 0.1)
+	}
+}

@@ -1,0 +1,73 @@
+package logicnet
+
+import (
+	"fmt"
+
+	"semsim/internal/circuit"
+)
+
+// SRLatch builds a set/reset latch from two cross-coupled NOR gates —
+// the single-electron flip-flop the paper's introduction cites as a
+// candidate memory element. The gate netlist path cannot express the
+// feedback loop (Parse requires acyclic wiring), so the latch is wired
+// directly:
+//
+//	q  = NOR(r, qb)
+//	qb = NOR(s, q)
+//
+// Inputs s and r are external nodes driven by the supplied sources
+// (low = inactive); the state lives on the "q" and "qb" wires.
+func SRLatch(p Params, s, r circuit.Source) (*Expanded, error) {
+	if s == nil || r == nil {
+		return nil, fmt.Errorf("logicnet: SRLatch needs both input sources")
+	}
+	c := circuit.New()
+	ex := &Expanded{Circuit: c, Wire: map[string]int{}, InputNode: map[string]int{}, Params: p}
+
+	ex.VddNode = c.AddNode("Vdd", circuit.External)
+	c.SetSource(ex.VddNode, circuit.DC(p.Vdd()))
+	ex.VssNode = c.AddNode("Vss", circuit.External)
+	c.SetSource(ex.VssNode, circuit.DC(0))
+	ex.VpNode = c.AddNode("Vp", circuit.External)
+	c.SetSource(ex.VpNode, circuit.DC(p.Vp()))
+	ex.VnNode = c.AddNode("Vn", circuit.External)
+	c.SetSource(ex.VnNode, circuit.DC(p.Vn()))
+
+	sIn := c.AddNode("in:s", circuit.External)
+	c.SetSource(sIn, s)
+	rIn := c.AddNode("in:r", circuit.External)
+	c.SetSource(rIn, r)
+	ex.Wire["s"], ex.InputNode["s"] = sIn, sIn
+	ex.Wire["r"], ex.InputNode["r"] = rIn, rIn
+
+	q := c.AddNode("w:q", circuit.Island)
+	c.AddCap(q, ex.VssNode, p.CL)
+	qb := c.AddNode("w:qb", circuit.Island)
+	c.AddCap(qb, ex.VssNode, p.CL)
+	ex.Wire["q"], ex.Wire["qb"] = q, qb
+
+	// nor wires one NOR gate with inputs (a, b) driving out.
+	nor := func(tag string, a, b, out int) {
+		addDevice := func(label string, gate, t1, t2, bias int) {
+			isl := c.AddNode(label, circuit.Island)
+			c.AddJunction(t1, isl, p.RJ, p.CJ)
+			c.AddJunction(isl, t2, p.RJ, p.CJ)
+			c.AddCap(gate, isl, p.Cg)
+			c.AddCap(bias, isl, p.Cb)
+			ex.NumSETs++
+		}
+		m := c.AddNode(tag+".m", circuit.Island)
+		c.AddCap(m, ex.VssNode, p.CI)
+		addDevice(tag+".pa", a, ex.VddNode, m, ex.VpNode)
+		addDevice(tag+".pb", b, m, out, ex.VpNode)
+		addDevice(tag+".na", a, out, ex.VssNode, ex.VnNode)
+		addDevice(tag+".nb", b, out, ex.VssNode, ex.VnNode)
+	}
+	nor("sr.q", rIn, qb, q)
+	nor("sr.qb", sIn, q, qb)
+
+	if err := c.Build(); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}

@@ -1,0 +1,70 @@
+package logicnet
+
+import (
+	"testing"
+
+	"semsim/internal/circuit"
+	"semsim/internal/solver"
+)
+
+func TestSRLatchSetResetAndHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long MC run")
+	}
+	p := DefaultParams()
+	vdd := p.Vdd()
+	// Pulse sequence: set at 0.5 us, reset at 3 us; hold windows of
+	// >1 us in between probe the bistability.
+	pulse := func(at float64) circuit.PWL {
+		return circuit.PWL{
+			T:    []float64{0, at, at + 2e-9, at + 400e-9, at + 402e-9},
+			Volt: []float64{0, 0, vdd, vdd, 0},
+		}
+	}
+	ex, err := SRLatch(p, pulse(0.5e-6), pulse(3e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NumSETs != 8 {
+		t.Fatalf("SR latch should use 8 SETs, got %d", ex.NumSETs)
+	}
+	s, err := solver.New(ex.Circuit, solver.Options{Temp: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ex.Wire["q"]
+	qb := ex.Wire["qb"]
+	thr := ex.LogicThreshold()
+
+	at := func(tstop float64) (float64, float64) {
+		if _, err := s.Run(0, tstop); err != nil && err != solver.ErrBlockaded {
+			t.Fatal(err)
+		}
+		return s.Potential(q), s.Potential(qb)
+	}
+
+	// After the set pulse and a long hold, q must be high and stay high.
+	vq, vqb := at(1.5e-6)
+	if vq < thr || vqb > thr {
+		t.Fatalf("after SET: q=%.3g qb=%.3g (thr %.3g)", vq, vqb, thr)
+	}
+	vq2, _ := at(2.8e-6)
+	if vq2 < thr {
+		t.Fatalf("latch lost the SET state during hold: q=%.3g", vq2)
+	}
+	// After the reset pulse, q low / qb high, and it holds.
+	vq3, vqb3 := at(4.2e-6)
+	if vq3 > thr || vqb3 < thr {
+		t.Fatalf("after RESET: q=%.3g qb=%.3g", vq3, vqb3)
+	}
+	vq4, _ := at(5.5e-6)
+	if vq4 > thr {
+		t.Fatalf("latch lost the RESET state during hold: q=%.3g", vq4)
+	}
+}
+
+func TestSRLatchValidation(t *testing.T) {
+	if _, err := SRLatch(DefaultParams(), nil, circuit.DC(0)); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}

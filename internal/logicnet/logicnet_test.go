@@ -1,0 +1,231 @@
+package logicnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"semsim/internal/circuit"
+	"semsim/internal/solver"
+)
+
+const fullAdder = `
+name full-adder
+input a b cin
+output sum cout
+x  = XOR a b
+sum = XOR x cin
+g1 = AND a b
+g2 = AND x cin
+cout = OR g1 g2
+`
+
+func TestParseFullAdder(t *testing.T) {
+	nl, err := Parse(strings.NewReader(fullAdder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "full-adder" {
+		t.Fatalf("name = %q", nl.Name)
+	}
+	if len(nl.Inputs) != 3 || len(nl.Outputs) != 2 || len(nl.Gates) != 5 {
+		t.Fatalf("structure: %d inputs %d outputs %d gates",
+			len(nl.Inputs), len(nl.Outputs), len(nl.Gates))
+	}
+	// 2 XOR (16 each) + 2 AND (6 each) + OR (6) = 50 SETs, 100 junctions.
+	if nl.NumSETs() != 50 || nl.NumJunctions() != 100 {
+		t.Fatalf("SETs = %d junctions = %d, want 50/100", nl.NumSETs(), nl.NumJunctions())
+	}
+}
+
+func TestEvalFullAdder(t *testing.T) {
+	nl, err := Parse(strings.NewReader(fullAdder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 8; mask++ {
+		a, b, cin := mask&1 != 0, mask&2 != 0, mask&4 != 0
+		val, err := nl.Eval(map[string]bool{"a": a, "b": b, "cin": cin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := a != b != cin
+		cout := (a && b) || (cin && (a != b))
+		if val["sum"] != sum || val["cout"] != cout {
+			t.Fatalf("adder(%v,%v,%v): got sum=%v cout=%v want %v %v",
+				a, b, cin, val["sum"], val["cout"], sum, cout)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no gates":          "input a\noutput a\n",
+		"undefined input":   "input a\noutput y\ny = NAND a q\n",
+		"redefined wire":    "input a\noutput y\ny = INV a\ny = INV a\n",
+		"bad kind":          "input a\noutput y\ny = FOO a\n",
+		"wrong arity":       "input a\noutput y\ny = NAND a\n",
+		"undefined output":  "input a\noutput z\ny = INV a\n",
+		"use before define": "input a\noutput y\ny = NAND a w\nw = INV a\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted invalid netlist", name)
+		}
+	}
+}
+
+func TestExpandStructure(t *testing.T) {
+	nl, err := Parse(strings.NewReader("input a b\noutput y\ny = NAND a b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := nl.Expand(DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NumSETs != 4 {
+		t.Fatalf("NAND expanded to %d SETs, want 4", ex.NumSETs)
+	}
+	if ex.Circuit.NumJunctions() != 8 {
+		t.Fatalf("junctions = %d, want 8", ex.Circuit.NumJunctions())
+	}
+	if _, ok := ex.Wire["y"]; !ok {
+		t.Fatal("output wire not mapped")
+	}
+	if ex.Circuit.NodeKindOf(ex.Wire["y"]) != circuit.Island {
+		t.Fatal("logic wire must be an island")
+	}
+	if ex.Circuit.NodeKindOf(ex.InputNode["a"]) != circuit.External {
+		t.Fatal("input must be external")
+	}
+}
+
+// settle runs the expanded circuit to (near) steady state and returns
+// the potential of a wire.
+func settle(t *testing.T, ex *Expanded, wire string, seed uint64) float64 {
+	t.Helper()
+	s, err := solver.New(ex.Circuit, solver.Options{Temp: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(30000, 5e-6); err != nil && err != solver.ErrBlockaded {
+		t.Fatal(err)
+	}
+	return s.Potential(ex.Wire[wire])
+}
+
+func TestInverterStatics(t *testing.T) {
+	nl, err := Parse(strings.NewReader("input a\noutput y\ny = INV a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	vdd := p.Vdd()
+
+	exLow, err := nl.Expand(p, map[string]circuit.Source{"a": circuit.DC(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := settle(t, exLow, "y", 1)
+	if high < 0.6*vdd {
+		t.Fatalf("INV(0) output %.4g V, want > %.4g (Vdd=%.4g)", high, 0.6*vdd, vdd)
+	}
+
+	exHigh, err := nl.Expand(p, map[string]circuit.Source{"a": circuit.DC(vdd)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := settle(t, exHigh, "y", 1)
+	if low > 0.4*vdd {
+		t.Fatalf("INV(1) output %.4g V, want < %.4g", low, 0.4*vdd)
+	}
+}
+
+func TestNANDTruthTable(t *testing.T) {
+	nl, err := Parse(strings.NewReader("input a b\noutput y\ny = NAND a b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	vdd := p.Vdd()
+	for mask := 0; mask < 4; mask++ {
+		a, b := mask&1 != 0, mask&2 != 0
+		drive := map[string]circuit.Source{
+			"a": circuit.DC(level(a, vdd)),
+			"b": circuit.DC(level(b, vdd)),
+		}
+		ex, err := nl.Expand(p, drive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := settle(t, ex, "y", 3)
+		want := !(a && b)
+		if want && v < 0.6*vdd {
+			t.Fatalf("NAND(%v,%v) = %.4g V, want high (> %.4g)", a, b, v, 0.6*vdd)
+		}
+		if !want && v > 0.4*vdd {
+			t.Fatalf("NAND(%v,%v) = %.4g V, want low (< %.4g)", a, b, v, 0.4*vdd)
+		}
+	}
+}
+
+func level(b bool, vdd float64) float64 {
+	if b {
+		return vdd
+	}
+	return 0
+}
+
+func TestDefaultParamsRegime(t *testing.T) {
+	p := DefaultParams()
+	// The logic only works if the supply sits well below the blockade
+	// threshold of an off transistor: Vdd < ~0.4 e/Csum.
+	eOverC := 1.602176634e-19 / p.Csum()
+	if p.Vdd() >= 0.45*eOverC {
+		t.Fatalf("Vdd %.4g too close to blockade threshold %.4g: off transistors leak",
+			p.Vdd(), eOverC)
+	}
+	// The bias solver must put the pull-up island state inside its
+	// conduction window: e*vout + Ec + Ec_L <= e*v0 <= e*Vdd + Ec, i.e.
+	// the window is non-empty and Vp/Vn come out positive and ordered.
+	if p.Vp() <= p.Vn() || p.Vn() <= 0 {
+		t.Fatalf("bias rails disordered: Vp=%g Vn=%g", p.Vp(), p.Vn())
+	}
+	budget := p.Vdd()*(1-p.PullUpOut) - 1.602176634e-19/(2*p.CL)
+	if budget <= 0 {
+		t.Fatalf("pull-up conduction window empty: budget %g V", budget)
+	}
+	if math.IsNaN(p.Vp()) || math.IsNaN(p.Vn()) {
+		t.Fatal("bias solver produced NaN")
+	}
+}
+
+func TestInverterChainRegenerates(t *testing.T) {
+	// Three cascaded inverters must regenerate full logic levels — the
+	// property that makes large benchmarks meaningful.
+	nl, err := Parse(strings.NewReader(
+		"input a\noutput y3\ny1 = INV a\ny2 = INV y1\ny3 = INV y2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	vdd := p.Vdd()
+	ex, err := nl.Expand(p, map[string]circuit.Source{"a": circuit.DC(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := solver.New(ex.Circuit, solver.Options{Temp: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(60000, 1e-5); err != nil && err != solver.ErrBlockaded {
+		t.Fatal(err)
+	}
+	v1 := s.Potential(ex.Wire["y1"])
+	v2 := s.Potential(ex.Wire["y2"])
+	v3 := s.Potential(ex.Wire["y3"])
+	if v1 < 0.6*vdd || v2 > 0.4*vdd || v3 < 0.6*vdd {
+		t.Fatalf("chain levels: %.3g %.3g %.3g (Vdd=%.3g)", v1, v2, v3, vdd)
+	}
+}

@@ -1,0 +1,63 @@
+package logicnet
+
+import (
+	"fmt"
+
+	"semsim/internal/circuit"
+)
+
+// RingOscillator builds a free-running ring of `stages` SET inverters
+// (stages must be odd and >= 3) — the classic self-timed benchmark the
+// gate-netlist path cannot express because Parse requires acyclic
+// wiring. The returned Expanded maps the ring wires as "r0" .. "r<n-1>".
+//
+// The oscillation period is approximately 2 * stages * t_stage, with
+// t_stage the single-inverter delay for the chosen parameters; being a
+// Monte Carlo circuit, the period jitters cycle to cycle (which is
+// itself physical: single-electron ring oscillators are phase-diffusive).
+func RingOscillator(stages int, p Params) (*Expanded, error) {
+	if stages < 3 || stages%2 == 0 {
+		return nil, fmt.Errorf("logicnet: ring oscillator needs an odd stage count >= 3, got %d", stages)
+	}
+	c := circuit.New()
+	ex := &Expanded{Circuit: c, Wire: map[string]int{}, InputNode: map[string]int{}, Params: p}
+
+	ex.VddNode = c.AddNode("Vdd", circuit.External)
+	c.SetSource(ex.VddNode, circuit.DC(p.Vdd()))
+	ex.VssNode = c.AddNode("Vss", circuit.External)
+	c.SetSource(ex.VssNode, circuit.DC(0))
+	ex.VpNode = c.AddNode("Vp", circuit.External)
+	c.SetSource(ex.VpNode, circuit.DC(p.Vp()))
+	ex.VnNode = c.AddNode("Vn", circuit.External)
+	c.SetSource(ex.VnNode, circuit.DC(p.Vn()))
+
+	wires := make([]int, stages)
+	for i := range wires {
+		name := fmt.Sprintf("r%d", i)
+		wires[i] = c.AddNode("w:"+name, circuit.Island)
+		c.AddCap(wires[i], ex.VssNode, p.CL)
+		ex.Wire[name] = wires[i]
+	}
+	for i := 0; i < stages; i++ {
+		in := wires[(i+stages-1)%stages]
+		out := wires[i]
+		tag := fmt.Sprintf("ring%d", i)
+		// pSET: Vdd -> out, gated by the previous stage.
+		isl := c.AddNode(tag+".p", circuit.Island)
+		c.AddJunction(ex.VddNode, isl, p.RJ, p.CJ)
+		c.AddJunction(isl, out, p.RJ, p.CJ)
+		c.AddCap(in, isl, p.Cg)
+		c.AddCap(ex.VpNode, isl, p.Cb)
+		// nSET: out -> Vss.
+		isl = c.AddNode(tag+".n", circuit.Island)
+		c.AddJunction(out, isl, p.RJ, p.CJ)
+		c.AddJunction(isl, ex.VssNode, p.RJ, p.CJ)
+		c.AddCap(in, isl, p.Cg)
+		c.AddCap(ex.VnNode, isl, p.Cb)
+		ex.NumSETs += 2
+	}
+	if err := c.Build(); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}

@@ -1,0 +1,56 @@
+package logicnet
+
+import (
+	"testing"
+
+	"semsim/internal/solver"
+)
+
+func TestRingOscillatorValidation(t *testing.T) {
+	p := DefaultParams()
+	if _, err := RingOscillator(4, p); err == nil {
+		t.Fatal("even stage count accepted")
+	}
+	if _, err := RingOscillator(1, p); err == nil {
+		t.Fatal("single stage accepted")
+	}
+}
+
+func TestRingOscillatorOscillates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long MC run")
+	}
+	p := DefaultParams()
+	ex, err := RingOscillator(3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NumSETs != 6 || ex.Circuit.NumJunctions() != 12 {
+		t.Fatalf("3-stage ring: %d SETs %d junctions", ex.NumSETs, ex.Circuit.NumJunctions())
+	}
+	s, err := solver.New(ex.Circuit, solver.Options{Temp: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := ex.Wire["r0"]
+	s.AddProbe(node)
+	if _, err := s.Run(0, 3e-6); err != nil && err != solver.ErrBlockaded {
+		t.Fatal(err)
+	}
+	// Count threshold crossings of the (smoothed-by-eye) waveform: the
+	// ring must toggle repeatedly, not latch.
+	thr := ex.LogicThreshold()
+	w := s.Waveform(node)
+	crossings := 0
+	above := w[0].V > thr
+	for _, sm := range w {
+		now := sm.V > thr
+		if now != above {
+			crossings++
+			above = now
+		}
+	}
+	if crossings < 6 {
+		t.Fatalf("ring latched: only %d threshold crossings in 3 us", crossings)
+	}
+}

@@ -1,0 +1,204 @@
+package master
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"semsim/internal/circuit"
+	"semsim/internal/orthodox"
+	"semsim/internal/units"
+)
+
+// This file implements the master-equation approach for multi-island
+// circuits — the paper's second established method. Its fundamental
+// limitation, which the paper calls out ("the relevant states must be
+// known before simulation ... single-electron device circuits can
+// potentially occupy an infinite number of states"), appears here as
+// the truncated state box: every island's occupation is restricted to
+// a window around its electrostatically induced charge, and the state
+// count grows exponentially with the island count. That is precisely
+// why the Monte Carlo solver is the tool for large circuits.
+
+// ResultN is the stationary solution over an enumerated state space.
+type ResultN struct {
+	// States lists the enumerated occupation vectors (island order).
+	States [][]int
+	// P are the stationary probabilities, aligned with States.
+	P []float64
+	// Current is the conventional steady-state current (A) from node A
+	// to node B of each junction.
+	Current []float64
+	// Iterations is the number of power-iteration sweeps used.
+	Iterations int
+}
+
+// SolveN computes the stationary state of a built normal-state circuit
+// with any number of islands, enumerating occupation numbers within
+// +-radius of each island's induced charge. The stationary distribution
+// of the truncated generator is found by uniformized power iteration.
+//
+// The state count is (2*radius+1)^islands: this is practical for a few
+// islands only, by design of the method.
+func SolveN(c *circuit.Circuit, temp float64, radius int) (*ResultN, error) {
+	if c.Super().Superconducting() {
+		return nil, errors.New("master: SolveN supports normal-state circuits only")
+	}
+	ni := c.NumIslands()
+	if ni == 0 {
+		return nil, errors.New("master: no islands")
+	}
+	if radius < 1 {
+		return nil, errors.New("master: radius must be >= 1")
+	}
+	span := 2*radius + 1
+	nStates := 1
+	for i := 0; i < ni; i++ {
+		if nStates > 200000/span {
+			return nil, fmt.Errorf("master: state space too large (%d islands, radius %d)", ni, radius)
+		}
+		nStates *= span
+	}
+
+	// Center the box on the induced charge of each island.
+	center := make([]int, ni)
+	zero := make([]int, ni)
+	v0 := c.IslandPotentials(nil, zero, 0)
+	for i, isl := range c.Islands() {
+		q := v0[i] * c.SumCapacitance(isl)
+		center[i] = int(math.Round(q / units.E))
+	}
+
+	// State encoding: mixed-radix little-endian over islands.
+	decode := func(idx int) []int {
+		n := make([]int, ni)
+		for i := 0; i < ni; i++ {
+			n[i] = center[i] + idx%span - radius
+			idx /= span
+		}
+		return n
+	}
+	encode := func(n []int) (int, bool) {
+		idx := 0
+		mul := 1
+		for i := 0; i < ni; i++ {
+			d := n[i] - center[i] + radius
+			if d < 0 || d >= span {
+				return 0, false
+			}
+			idx += d * mul
+			mul *= span
+		}
+		return idx, true
+	}
+
+	// Sparse transition lists: for each state, its outgoing moves.
+	type move struct {
+		to   int
+		rate float64
+		junc int
+		// dir is +1 when the electron moves A -> B through the junction.
+		dir int
+	}
+	moves := make([][]move, nStates)
+	juncs := c.Junctions()
+	vbuf := make([]float64, ni)
+	for s := 0; s < nStates; s++ {
+		n := decode(s)
+		c.IslandPotentials(vbuf, n, 0)
+		nodeV := func(id int) float64 { return c.NodePotential(id, vbuf, 0) }
+		for j, jn := range juncs {
+			for _, dir := range [2]int{+1, -1} {
+				src, dst := jn.A, jn.B
+				if dir < 0 {
+					src, dst = jn.B, jn.A
+				}
+				nn := append([]int(nil), n...)
+				c.ApplyTransfer(nn, src, dst, 1)
+				to, ok := encode(nn)
+				if !ok {
+					continue // leaves the truncated box
+				}
+				dw := c.DeltaWElectron(src, dst, nodeV(src), nodeV(dst))
+				rate := orthodox.Rate(dw, jn.R, temp)
+				if rate <= 0 {
+					continue
+				}
+				moves[s] = append(moves[s], move{to: to, rate: rate, junc: j, dir: dir})
+			}
+		}
+	}
+
+	// Uniformization: P = I + Q/lambda with lambda >= max total exit
+	// rate; power-iterate p <- pP until the 1-norm change stalls.
+	lambda := 0.0
+	exit := make([]float64, nStates)
+	for s, ms := range moves {
+		tot := 0.0
+		for _, m := range ms {
+			tot += m.rate
+		}
+		exit[s] = tot
+		if tot > lambda {
+			lambda = tot
+		}
+	}
+	if lambda == 0 {
+		return nil, errors.New("master: no transitions within the state box")
+	}
+	lambda *= 1.05
+
+	p := make([]float64, nStates)
+	for i := range p {
+		p[i] = 1 / float64(nStates)
+	}
+	next := make([]float64, nStates)
+	res := &ResultN{}
+	const maxIter = 200000
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for s, ps := range p {
+			if ps == 0 {
+				continue
+			}
+			next[s] += ps * (1 - exit[s]/lambda)
+			for _, m := range moves[s] {
+				next[m.to] += ps * m.rate / lambda
+			}
+		}
+		// Normalize and measure movement.
+		sum := 0.0
+		for _, v := range next {
+			sum += v
+		}
+		diff := 0.0
+		for i := range next {
+			next[i] /= sum
+			diff += math.Abs(next[i] - p[i])
+		}
+		p, next = next, p
+		res.Iterations = iter + 1
+		if diff < 1e-13 {
+			break
+		}
+	}
+
+	res.P = p
+	res.States = make([][]int, nStates)
+	for s := range res.States {
+		res.States[s] = decode(s)
+	}
+	res.Current = make([]float64, len(juncs))
+	for s, ps := range p {
+		if ps == 0 {
+			continue
+		}
+		for _, m := range moves[s] {
+			// Electrons moving A -> B carry conventional current B -> A.
+			res.Current[m.junc] -= float64(m.dir) * ps * m.rate * units.E
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package master
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/circuit"
+	"semsim/internal/solver"
+	"semsim/internal/units"
+)
+
+func TestSolveNMatchesSingleIslandSolve(t *testing.T) {
+	// On a SET the multi-island solver must agree with the birth-death
+	// chain solution.
+	c, _ := paperSET(0.04, 0.007)
+	ref, err := Solve(c, 5, -4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := paperSET(0.04, 0.007)
+	got, err := SolveN(c2, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ref.Current {
+		if math.Abs(got.Current[j]-ref.Current[j])/math.Abs(ref.Current[j]) > 1e-6 {
+			t.Fatalf("junction %d: SolveN %g vs Solve %g", j, got.Current[j], ref.Current[j])
+		}
+	}
+}
+
+// doubleDot builds a two-island series double dot between biased leads.
+func doubleDot(vbias float64) *circuit.Circuit {
+	c := circuit.New()
+	l0 := c.AddNode("l0", circuit.External)
+	l1 := c.AddNode("l1", circuit.External)
+	g := c.AddNode("g", circuit.External)
+	c.SetSource(l0, circuit.DC(vbias/2))
+	c.SetSource(l1, circuit.DC(-vbias/2))
+	c.SetSource(g, circuit.DC(0.004))
+	d0 := c.AddNode("d0", circuit.Island)
+	d1 := c.AddNode("d1", circuit.Island)
+	c.AddJunction(l0, d0, 1e6, 2*units.Atto)
+	c.AddJunction(d0, d1, 2e6, 2*units.Atto)
+	c.AddJunction(d1, l1, 1e6, 2*units.Atto)
+	c.AddCap(g, d0, 1*units.Atto)
+	c.AddCap(g, d1, 1*units.Atto)
+	if err := c.Build(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestSolveNDoubleDotKCL(t *testing.T) {
+	res, err := SolveN(doubleDot(0.06), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady state: all three series junctions carry the same current.
+	i0 := res.Current[0]
+	for j := 1; j < 3; j++ {
+		if math.Abs(res.Current[j]-i0) > 1e-6*math.Abs(i0) {
+			t.Fatalf("KCL violated: I%d=%g vs I0=%g", j, res.Current[j], i0)
+		}
+	}
+	if i0 <= 0 {
+		t.Fatalf("positive bias should drive positive current, got %g", i0)
+	}
+	// Probabilities normalized and finite.
+	sum := 0.0
+	for _, p := range res.P {
+		if p < 0 || math.IsNaN(p) {
+			t.Fatalf("bad probability %g", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+}
+
+func TestSolveNDoubleDotMatchesMonteCarlo(t *testing.T) {
+	// The headline cross-validation on a circuit the single-island
+	// solver cannot handle.
+	ref, err := SolveN(doubleDot(0.06), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := solver.New(doubleDot(0.06), solver.Options{Temp: 10, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(30000, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetMeasurement()
+	if _, err := s.Run(150000, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := s.JunctionCurrent(1) // middle junction
+	want := ref.Current[1]
+	if math.IsNaN(want) || want == 0 {
+		t.Fatalf("ME current %g", want)
+	}
+	if math.Abs(got-want)/math.Abs(want) > 0.06 {
+		t.Fatalf("double dot: MC %g vs ME %g (>6%%)", got, want)
+	}
+}
+
+func TestSolveNEquilibrium(t *testing.T) {
+	res, err := SolveN(doubleDot(0), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Box truncation breaks detailed balance by a whisper at the
+	// boundary states; the residual must stay at least nine orders of
+	// magnitude below the driven current (~nA).
+	for j, i := range res.Current {
+		if math.Abs(i) > 1e-18 {
+			t.Fatalf("equilibrium current through junction %d: %g", j, i)
+		}
+	}
+}
+
+func TestSolveNValidation(t *testing.T) {
+	c := doubleDot(0.01)
+	if _, err := SolveN(c, 10, 0); err == nil {
+		t.Fatal("radius 0 accepted")
+	}
+	// Superconducting circuits are out of scope.
+	sc, _ := circuit.NewSET(circuit.SETConfig{
+		R1: 1e6, C1: units.Atto, R2: 1e6, C2: units.Atto, Cg: 3 * units.Atto,
+		Super: circuit.SuperParams{GapAt0: units.MeV(0.2), Tc: 1.2},
+	})
+	if _, err := SolveN(sc, 0.1, 2); err == nil {
+		t.Fatal("superconducting circuit accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when LU factorization meets a zero pivot.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Dense is a general (non-symmetric) dense matrix, used for the
+// Newton-Raphson Jacobians of the SPICE-baseline transient solver —
+// transconductance stamps break the symmetry that Cholesky needs.
+type Dense struct {
+	n    int
+	data []float64
+}
+
+// NewDense returns an n-by-n zero matrix.
+func NewDense(n int) *Dense {
+	if n < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &Dense{n: n, data: make([]float64, n*n)}
+}
+
+// N returns the dimension.
+func (m *Dense) N() int { return m.n }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.n+j] = v }
+
+// Add accumulates into element (i, j).
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.n+j] += v }
+
+// Zero clears the matrix for reuse across Newton iterations.
+func (m *Dense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// LU is an in-place LU factorization with partial pivoting.
+type LU struct {
+	n    int
+	lu   []float64
+	perm []int
+}
+
+// FactorLU factors a copy of m.
+func FactorLU(m *Dense) (*LU, error) {
+	n := m.n
+	f := &LU{n: n, lu: append([]float64(nil), m.data...), perm: make([]int, n)}
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	lu := f.lu
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		max := math.Abs(lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(lu[r*n+col]); a > max {
+				max, p = a, r
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return nil, ErrSingular
+		}
+		if p != col {
+			for k := 0; k < n; k++ {
+				lu[p*n+k], lu[col*n+k] = lu[col*n+k], lu[p*n+k]
+			}
+			f.perm[p], f.perm[col] = f.perm[col], f.perm[p]
+		}
+		piv := lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			factor := lu[r*n+col] / piv
+			lu[r*n+col] = factor
+			if factor == 0 {
+				continue
+			}
+			row := lu[r*n : r*n+n]
+			prow := lu[col*n : col*n+n]
+			for k := col + 1; k < n; k++ {
+				row[k] -= factor * prow[k]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b, writing x into dst (which may alias b).
+func (f *LU) Solve(dst, b []float64) {
+	n := f.n
+	if len(dst) != n || len(b) != n {
+		panic("matrix: LU solve dimension mismatch")
+	}
+	// Apply the permutation.
+	x := make([]float64, n)
+	for i, p := range f.perm {
+		x[i] = b[p]
+	}
+	// Forward substitution (unit lower triangle).
+	for i := 1; i < n; i++ {
+		row := f.lu[i*n : i*n+i]
+		s := x[i]
+		for k, v := range row {
+			s -= v * x[k]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.lu[i*n+k] * x[k]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	copy(dst, x)
+}

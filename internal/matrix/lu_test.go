@@ -1,0 +1,104 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/rng"
+)
+
+func randDense(n int, r *rng.Source) *Dense {
+	m := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, r.Float64()*2-1)
+		}
+		m.Add(i, i, float64(n)) // keep it comfortably nonsingular
+	}
+	return m
+}
+
+func TestLUSolve(t *testing.T) {
+	r := rng.New(4)
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		m := randDense(n, r)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()*4 - 2
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += m.At(i, j) * x[j]
+			}
+			b[i] = s
+		}
+		f, err := FactorLU(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		f.Solve(got, b)
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d: x[%d] = %g, want %g", n, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestLUPivoting(t *testing.T) {
+	// Zero on the diagonal requires a row swap.
+	m := NewDense(2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	f, err := FactorLU(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.Solve(x, []float64{3, 7})
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("pivoted solve wrong: %v", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := FactorLU(m); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestDenseZero(t *testing.T) {
+	m := NewDense(3)
+	m.Set(1, 2, 5)
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestSolveAliasing(t *testing.T) {
+	m := randDense(4, rng.New(8))
+	f, err := FactorLU(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3, 4}
+	want := make([]float64, 4)
+	f.Solve(want, b)
+	f.Solve(b, b) // aliased
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatal("aliased solve differs")
+		}
+	}
+}

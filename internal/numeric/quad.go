@@ -1,0 +1,146 @@
+// Package numeric is the simulator's numerical toolbox: adaptive
+// quadrature (including square-root-singularity handling for the BCS
+// density of states), Fermi-Dirac functions with safe asymptotics,
+// monotone interpolation tables, and Brent root finding.
+package numeric
+
+import (
+	"math"
+)
+
+// Integrate computes the integral of f over [a, b] with adaptive
+// Simpson quadrature to the given absolute tolerance. The integrand
+// must be finite on the closed interval.
+func Integrate(f func(float64) float64, a, b, tol float64) float64 {
+	if a == b {
+		return 0
+	}
+	if b < a {
+		return -Integrate(f, b, a, tol)
+	}
+	fa, fb := f(a), f(b)
+	m := 0.5 * (a + b)
+	fm := f(m)
+	whole := simpson(a, b, fa, fm, fb)
+	return adaptiveSimpson(f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+	m := 0.5 * (a + b)
+	lm := 0.5 * (a + m)
+	rm := 0.5 * (m + b)
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	delta := left + right - whole
+	if depth <= 0 || math.Abs(delta) <= 15*tol {
+		return left + right + delta/15
+	}
+	return adaptiveSimpson(f, a, m, fa, flm, fm, left, tol/2, depth-1) +
+		adaptiveSimpson(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+}
+
+// IntegrateEdgeSingular integrates f over [a, b] when f has an
+// integrable inverse-square-root singularity at one endpoint, i.e.
+// f(x) ~ g(x)/sqrt(|x - s|) near the singular endpoint s with g smooth.
+// The substitution x = s ± t^2 regularizes it: the Jacobian 2t cancels
+// the 1/sqrt(t^2) = 1/t blow-up.
+//
+// atSingular selects which endpoint is singular: true for a, false
+// for b. f is never evaluated exactly at the singular endpoint.
+func IntegrateEdgeSingular(f func(float64) float64, a, b float64, atSingularA bool, tol float64) float64 {
+	if b <= a {
+		return 0
+	}
+	w := b - a
+	if atSingularA {
+		// x = a + t^2, t in (0, sqrt(w)]
+		g := func(t float64) float64 { return 2 * t * f(a+t*t) }
+		return Integrate(g, 0, math.Sqrt(w), tol)
+	}
+	// x = b - t^2, t in (0, sqrt(w)]
+	g := func(t float64) float64 { return 2 * t * f(b-t*t) }
+	return Integrate(g, 0, math.Sqrt(w), tol)
+}
+
+// IntegrateBothEdgesSingular integrates f over [a, b] when f has
+// integrable inverse-square-root singularities at both endpoints,
+// by splitting at the midpoint.
+func IntegrateBothEdgesSingular(f func(float64) float64, a, b, tol float64) float64 {
+	if b <= a {
+		return 0
+	}
+	m := 0.5 * (a + b)
+	return IntegrateEdgeSingular(f, a, m, true, tol/2) +
+		IntegrateEdgeSingular(f, m, b, false, tol/2)
+}
+
+// Brent finds a root of f in [a, b] where f(a) and f(b) must bracket a
+// sign change, to the given x tolerance. It panics if the bracket is
+// invalid, which indicates a programming error in the caller.
+func Brent(f func(float64) float64, a, b, tol float64) float64 {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a
+	}
+	if fb == 0 {
+		return b
+	}
+	if fa*fb > 0 {
+		panic("numeric: Brent bracket does not contain a sign change")
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < 200; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		const eps = 2.220446049250313e-16 // machine epsilon for float64
+		tol1 := 2*eps*math.Abs(b) + 0.5*tol
+		xm := 0.5 * (c - b)
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
+				e, d = d, p/q
+			} else {
+				d, e = xm, xm
+			}
+		} else {
+			d, e = xm, xm
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else {
+			b += math.Copysign(tol1, xm)
+		}
+		fb = f(b)
+		if (fb > 0) == (fc > 0) {
+			c, fc = a, fa
+			d, e = b-a, b-a
+		}
+	}
+	return b
+}

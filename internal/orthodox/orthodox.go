@@ -1,0 +1,42 @@
+// Package orthodox implements the orthodox-theory single-electron
+// tunneling rate (Eq. 1 of the paper with the normal-state I-V
+// function I(V) = V/R):
+//
+//	Gamma(dW) = dW / (e^2 R (exp(dW/kT) - 1))
+//
+// where dW is the free-energy change of the event (negative when the
+// event releases energy). The zero-temperature limit is
+// Gamma = -dW/(e^2 R) for dW < 0 and 0 otherwise; at dW -> 0 the rate
+// approaches kT/(e^2 R). Both limits are handled without loss of
+// precision.
+package orthodox
+
+import (
+	"semsim/internal/numeric"
+	"semsim/internal/units"
+)
+
+// Rate returns the tunneling rate (events per second) through a
+// junction of resistance r (ohms) at temperature t (kelvin) for a
+// free-energy change dw (joules).
+func Rate(dw, r, t float64) float64 {
+	denom := units.E * units.E * r
+	if t <= 0 {
+		if dw < 0 {
+			return -dw / denom
+		}
+		return 0
+	}
+	kT := units.KB * t
+	return kT * numeric.XOverExpm1(dw/kT) / denom
+}
+
+// Conductance returns the linear-response (dw -> 0) rate prefactor
+// kT/(e^2 R): the rate at which a junction shuttles electrons when an
+// event costs no energy. Useful as a scale for thresholds.
+func Conductance(r, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return units.KB * t / (units.E * units.E * r)
+}

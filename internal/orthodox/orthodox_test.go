@@ -1,0 +1,101 @@
+package orthodox
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"semsim/internal/units"
+)
+
+func TestZeroTemperatureLimit(t *testing.T) {
+	r := 1e6
+	dw := -1e-21
+	got := Rate(dw, r, 0)
+	want := 1e-21 / (units.E * units.E * r)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("T=0 favorable rate: got %g want %g", got, want)
+	}
+	if Rate(1e-21, r, 0) != 0 {
+		t.Fatal("T=0 unfavorable rate must be exactly zero")
+	}
+	if Rate(0, r, 0) != 0 {
+		t.Fatal("T=0 zero-energy rate must be zero")
+	}
+}
+
+func TestLowTemperatureApproachesT0(t *testing.T) {
+	r := 1e6
+	dw := -5e-21 // strongly favorable vs kT at 10 mK (~1.4e-25 J)
+	cold := Rate(dw, r, 0.01)
+	zero := Rate(dw, r, 0)
+	if math.Abs(cold-zero)/zero > 1e-10 {
+		t.Fatalf("10 mK rate %g differs from T=0 rate %g", cold, zero)
+	}
+}
+
+func TestZeroEnergyRate(t *testing.T) {
+	// Gamma(0) = kT/(e^2 R).
+	r, temp := 1e6, 4.2
+	got := Rate(0, r, temp)
+	want := units.KB * temp / (units.E * units.E * r)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("Gamma(0): got %g want %g", got, want)
+	}
+	if c := Conductance(r, temp); math.Abs(c-want)/want > 1e-12 {
+		t.Fatalf("Conductance: got %g want %g", c, want)
+	}
+}
+
+func TestDetailedBalance(t *testing.T) {
+	// Gamma(dW)/Gamma(-dW) = exp(-dW/kT): thermal equilibrium requires it.
+	r, temp := 2e6, 1.3
+	kT := units.KB * temp
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		dw := x * kT
+		ratio := Rate(dw, r, temp) / Rate(-dw, r, temp)
+		want := math.Exp(-x)
+		if math.Abs(ratio-want)/want > 1e-9 {
+			t.Fatalf("detailed balance at x=%g: ratio %g want %g", x, ratio, want)
+		}
+	}
+}
+
+func TestRateAlwaysNonNegative(t *testing.T) {
+	f := func(dwScale, tScale float64) bool {
+		dw := math.Mod(dwScale, 100) * 1e-22
+		temp := math.Abs(math.Mod(tScale, 300))
+		return Rate(dw, 1e6, temp) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateScalesInverselyWithResistance(t *testing.T) {
+	dw, temp := -3e-21, 4.2
+	r1 := Rate(dw, 1e6, temp)
+	r2 := Rate(dw, 2e6, temp)
+	if math.Abs(r1-2*r2)/r1 > 1e-12 {
+		t.Fatalf("rate not ~ 1/R: %g vs %g", r1, 2*r2)
+	}
+}
+
+func TestHighTemperatureOhmicLimit(t *testing.T) {
+	// For |dW| << kT the junction is ohmic: current e*(Gfwd - Gbwd)
+	// equals V/R with V = -dW/e.
+	r, temp := 1e6, 300.0
+	dw := -1e-24 // tiny vs kT(300K) ~ 4e-21
+	net := Rate(dw, r, temp) - Rate(-dw, r, temp)
+	wantNet := -dw / (units.E * units.E * r)
+	if math.Abs(net-wantNet)/wantNet > 1e-6 {
+		t.Fatalf("ohmic limit: net %g want %g", net, wantNet)
+	}
+}
+
+func BenchmarkRate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Rate(-1e-21*float64(i%7+1), 1e6, 4.2)
+	}
+}

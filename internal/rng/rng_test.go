@@ -1,0 +1,137 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values in 100", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(123)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(99)
+	const n = 200000
+	const rate = 3.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate)/(1/rate) > 0.02 {
+		t.Fatalf("mean waiting time %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestExpPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("digit %d count %d far from uniform 10000", d, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(11)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children start identically")
+	}
+}
+
+func TestIntnUnbiasedSmallRanges(t *testing.T) {
+	// Property: for any seed and any n in [1, 64], Intn(n) stays in range.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenNeverZero(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		if r.Open() <= 0 {
+			t.Fatal("Open returned non-positive value")
+		}
+	}
+}

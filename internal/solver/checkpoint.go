@@ -1,0 +1,80 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Checkpoint is a resumable snapshot of a simulation's dynamic state.
+// It is plain data (JSON-serializable) and deliberately excludes the
+// circuit: restoring requires a Sim built over the same circuit, which
+// re-derives all cached rates. A restored non-adaptive simulation
+// continues bit-exactly: the random stream, electron configuration,
+// clock and measurement counters all resume where they stopped. An
+// adaptive simulation resumes from a fully refreshed rate cache (its
+// mid-run staleness is an approximation artifact, not state worth
+// preserving), so its continuation is statistically equivalent rather
+// than bit-identical.
+type Checkpoint struct {
+	Time      float64   `json:"time"`
+	Electrons []int     `json:"electrons"`
+	Rng       []byte    `json:"rng"`
+	Charge    []float64 `json:"charge"`
+	EvFw      []uint64  `json:"ev_fw"`
+	EvBw      []uint64  `json:"ev_bw"`
+	EvCoop    []uint64  `json:"ev_coop"`
+	MeasStart float64   `json:"meas_start"`
+	Stats     Stats     `json:"stats"`
+}
+
+// Checkpoint captures the current dynamic state.
+func (s *Sim) Checkpoint() (*Checkpoint, error) {
+	rngState, err := s.rnd.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	cp := &Checkpoint{
+		Time:      s.t,
+		Electrons: append([]int(nil), s.n...),
+		Rng:       rngState,
+		Charge:    append([]float64(nil), s.charge...),
+		EvFw:      append([]uint64(nil), s.evFw...),
+		EvBw:      append([]uint64(nil), s.evBw...),
+		EvCoop:    append([]uint64(nil), s.evCoop...),
+		MeasStart: s.measStart,
+		Stats:     s.stats,
+	}
+	return cp, nil
+}
+
+// Restore resets the simulation to a checkpoint taken from a Sim over
+// the same circuit (validated by vector lengths). Probes and their
+// recorded waveforms are not part of the checkpoint and are left as
+// they are.
+func (s *Sim) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return errors.New("solver: nil checkpoint")
+	}
+	if len(cp.Electrons) != len(s.n) {
+		return fmt.Errorf("solver: checkpoint has %d islands, circuit has %d", len(cp.Electrons), len(s.n))
+	}
+	if len(cp.Charge) != len(s.charge) || len(cp.EvFw) != len(s.evFw) ||
+		len(cp.EvBw) != len(s.evBw) || len(cp.EvCoop) != len(s.evCoop) {
+		return errors.New("solver: checkpoint junction counts do not match the circuit")
+	}
+	if err := s.rnd.UnmarshalBinary(cp.Rng); err != nil {
+		return err
+	}
+	s.t = cp.Time
+	copy(s.n, cp.Electrons)
+	copy(s.charge, cp.Charge)
+	copy(s.evFw, cp.EvFw)
+	copy(s.evBw, cp.EvBw)
+	copy(s.evCoop, cp.EvCoop)
+	s.measStart = cp.MeasStart
+	s.stats = cp.Stats
+	// Rebuild all derived state (potentials, rates, selection tree) for
+	// the restored configuration.
+	s.fullRefresh()
+	return nil
+}

@@ -1,0 +1,96 @@
+package solver
+
+import (
+	"encoding/json"
+	"testing"
+
+	"semsim/internal/circuit"
+)
+
+func TestCheckpointResumeBitExact(t *testing.T) {
+	mk := func() *Sim {
+		c, _ := circuit.NewSET(circuit.SETConfig{
+			R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+			Vs: 0.02, Vd: -0.02, Vg: 0.005,
+		})
+		s, err := New(c, Options{Temp: 5, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// Reference: straight 4000-event run.
+	ref := mk()
+	if _, err := ref.Run(4000, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointed: 1500 events, snapshot (through JSON, as a user
+	// would persist it), 2500 more on a FRESH sim.
+	a := mk()
+	if _, err := a.Run(1500, 0); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp2 Checkpoint
+	if err := json.Unmarshal(blob, &cp2); err != nil {
+		t.Fatal(err)
+	}
+	b := mk()
+	if err := b.Restore(&cp2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(2500, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if ref.Time() != b.Time() {
+		t.Fatalf("resumed trajectory diverged in time: %g vs %g", ref.Time(), b.Time())
+	}
+	if ref.Stats().Events != b.Stats().Events {
+		t.Fatalf("event counts differ: %d vs %d", ref.Stats().Events, b.Stats().Events)
+	}
+	for j := 0; j < 2; j++ {
+		if ref.JunctionCharge(j) != b.JunctionCharge(j) {
+			t.Fatalf("junction %d charge differs: %g vs %g", j, ref.JunctionCharge(j), b.JunctionCharge(j))
+		}
+		rf, rb := ref.JunctionEvents(j)
+		bf, bb := b.JunctionEvents(j)
+		if rf != bf || rb != bb {
+			t.Fatalf("junction %d event counts differ", j)
+		}
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	c, _ := circuit.NewSET(circuit.SETConfig{
+		R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF, Vs: 0.02, Vd: -0.02,
+	})
+	s, err := New(c, Options{Temp: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(nil); err == nil {
+		t.Fatal("nil checkpoint accepted")
+	}
+	cp, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Electrons = append(cp.Electrons, 0)
+	if err := s.Restore(cp); err == nil {
+		t.Fatal("mismatched island count accepted")
+	}
+	cp2, _ := s.Checkpoint()
+	cp2.Rng = cp2.Rng[:5]
+	if err := s.Restore(cp2); err == nil {
+		t.Fatal("corrupt RNG state accepted")
+	}
+}

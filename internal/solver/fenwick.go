@@ -1,0 +1,92 @@
+package solver
+
+// fenwick is a binary indexed tree over non-negative channel rates. It
+// supports O(log n) point updates and O(log n) sampling of an index by
+// cumulative rate, which is what lets the adaptive solver pay only for
+// the channels it actually recomputed.
+type fenwick struct {
+	n    int
+	tree []float64 // 1-based BIT partial sums
+	vals []float64 // current value per index
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{n: n, tree: make([]float64, n+1), vals: make([]float64, n)}
+}
+
+// set assigns value v (>= 0) to index i.
+func (f *fenwick) set(i int, v float64) {
+	if v < 0 {
+		v = 0
+	}
+	d := v - f.vals[i]
+	if d == 0 {
+		return
+	}
+	f.vals[i] = v
+	for j := i + 1; j <= f.n; j += j & (-j) {
+		f.tree[j] += d
+	}
+}
+
+// at returns the current value at index i.
+func (f *fenwick) at(i int) float64 { return f.vals[i] }
+
+// total returns the sum of all values.
+func (f *fenwick) total() float64 {
+	s := 0.0
+	for j := f.n; j > 0; j -= j & (-j) {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// rebuild recomputes the tree from vals, clearing accumulated
+// floating-point drift from many incremental updates.
+func (f *fenwick) rebuild() {
+	for i := range f.tree {
+		f.tree[i] = 0
+	}
+	for i, v := range f.vals {
+		for j := i + 1; j <= f.n; j += j & (-j) {
+			f.tree[j] += v
+		}
+	}
+}
+
+// find returns the smallest index i such that the cumulative sum
+// through i exceeds u. u must be in [0, total()). If rounding pushes
+// the search past the end, the last index with a positive value is
+// returned.
+func (f *fenwick) find(u float64) int {
+	idx := 0
+	// Highest power of two <= n.
+	bit := 1
+	for bit<<1 <= f.n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= f.n && f.tree[next] <= u {
+			u -= f.tree[next]
+			idx = next
+		}
+	}
+	if idx >= f.n {
+		idx = f.n - 1
+	}
+	// Guard against landing on a zero-rate channel through FP rounding.
+	if f.vals[idx] <= 0 {
+		for i := idx; i >= 0; i-- {
+			if f.vals[i] > 0 {
+				return i
+			}
+		}
+		for i := idx + 1; i < f.n; i++ {
+			if f.vals[i] > 0 {
+				return i
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,99 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/rng"
+)
+
+func TestFenwickBasics(t *testing.T) {
+	f := newFenwick(5)
+	f.set(0, 1)
+	f.set(2, 3)
+	f.set(4, 0.5)
+	if got := f.total(); math.Abs(got-4.5) > 1e-12 {
+		t.Fatalf("total = %g, want 4.5", got)
+	}
+	if f.at(2) != 3 {
+		t.Fatalf("at(2) = %g", f.at(2))
+	}
+	f.set(2, 1)
+	if got := f.total(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("total after update = %g, want 2.5", got)
+	}
+}
+
+func TestFenwickNegativeClamped(t *testing.T) {
+	f := newFenwick(3)
+	f.set(1, -5)
+	if f.total() != 0 || f.at(1) != 0 {
+		t.Fatal("negative rates must clamp to zero")
+	}
+}
+
+func TestFenwickFind(t *testing.T) {
+	f := newFenwick(4)
+	f.set(0, 1)
+	f.set(1, 0)
+	f.set(2, 2)
+	f.set(3, 1)
+	cases := []struct {
+		u    float64
+		want int
+	}{
+		{0, 0}, {0.99, 0}, {1.0, 2}, {2.9, 2}, {3.0, 3}, {3.99, 3},
+	}
+	for _, c := range cases {
+		if got := f.find(c.u); got != c.want {
+			t.Fatalf("find(%g) = %d, want %d", c.u, got, c.want)
+		}
+	}
+}
+
+func TestFenwickFindNeverZeroRate(t *testing.T) {
+	f := newFenwick(6)
+	f.set(1, 1e-20)
+	f.set(4, 2e-20)
+	r := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		idx := f.find(r.Float64() * f.total())
+		if f.at(idx) <= 0 {
+			t.Fatalf("selected zero-rate channel %d", idx)
+		}
+	}
+}
+
+func TestFenwickSamplingDistribution(t *testing.T) {
+	f := newFenwick(3)
+	f.set(0, 1)
+	f.set(1, 2)
+	f.set(2, 7)
+	r := rng.New(42)
+	counts := [3]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[f.find(r.Float64()*f.total())]++
+	}
+	want := [3]float64{0.1, 0.2, 0.7}
+	for i := range counts {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Fatalf("channel %d sampled %.3f, want %.3f", i, got, want[i])
+		}
+	}
+}
+
+func TestFenwickRebuildMatchesIncremental(t *testing.T) {
+	f := newFenwick(64)
+	r := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		f.set(r.Intn(64), r.Float64()*1e12)
+	}
+	before := f.total()
+	f.rebuild()
+	after := f.total()
+	if math.Abs(before-after) > 1e-3*after {
+		t.Fatalf("rebuild changed total: %g vs %g", before, after)
+	}
+}

@@ -1,0 +1,88 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/circuit"
+)
+
+// TestShotNoiseFanoFactor validates the solver's full counting
+// statistics against an exact result: a symmetric double junction far
+// above threshold at T -> 0 shows sub-Poissonian shot noise with Fano
+// factor F = Var(N)/Mean(N) = 1/2 (Korotkov; de Jong & Beenakker).
+func TestShotNoiseFanoFactor(t *testing.T) {
+	const (
+		runs = 300
+		tau  = 40e-9 // counting window
+	)
+	counts := make([]float64, runs)
+	for r := 0; r < runs; r++ {
+		c, nd := circuit.NewSET(circuit.SETConfig{
+			R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+			Vs: 0.1, Vd: -0.1, // far above the 32 mV threshold
+		})
+		s, err := New(c, Options{Temp: 0, Seed: 1000 + uint64(r)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Skip the initial transient, then count over a fixed window.
+		if _, err := s.Run(200, 0); err != nil {
+			t.Fatal(err)
+		}
+		s.ResetMeasurement()
+		if _, err := s.Run(0, s.Time()+tau); err != nil {
+			t.Fatal(err)
+		}
+		// Electrons stream drain -> island -> source at this bias, i.e.
+		// B -> A through the (island, drain) junction.
+		fw, bw := s.JunctionEvents(nd.JuncDrain)
+		counts[r] = float64(bw) - float64(fw)
+	}
+	mean, varc := 0.0, 0.0
+	for _, n := range counts {
+		mean += n
+	}
+	mean /= runs
+	for _, n := range counts {
+		varc += (n - mean) * (n - mean)
+	}
+	varc /= runs - 1
+	if mean < 50 {
+		t.Fatalf("mean count %g too small for statistics; raise tau", mean)
+	}
+	fano := varc / mean
+	// 1/2 with finite-charging corrections and sampling noise.
+	if fano < 0.35 || fano > 0.7 {
+		t.Fatalf("Fano factor %.3f, want ~0.5 (mean %g, var %g)", fano, mean, varc)
+	}
+}
+
+// TestJunctionEventsDirectionality: at strong forward bias essentially
+// all transfers go one way.
+func TestJunctionEventsDirectionality(t *testing.T) {
+	c, nd := circuit.NewSET(circuit.SETConfig{
+		R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+		Vs: 0.1, Vd: -0.1,
+	})
+	s, err := New(c, Options{Temp: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetMeasurement()
+	if _, err := s.Run(5000, 0); err != nil {
+		t.Fatal(err)
+	}
+	// JuncSource is (source -> island): with the source at +0.1 V,
+	// electrons move island -> source, i.e. B -> A.
+	fw, bw := s.JunctionEvents(nd.JuncSource)
+	if bw < 1000 || fw > bw/100 {
+		t.Fatalf("directionality wrong at T=0 strong bias: fw=%d bw=%d", fw, bw)
+	}
+	// Consistency with the accumulated charge: electrons A->B carry
+	// conventional charge B->A (negative A->B).
+	wantCharge := -1.602176634e-19 * float64(int64(fw)-int64(bw))
+	if math.Abs(s.JunctionCharge(nd.JuncSource)-wantCharge) > 1e-25 {
+		t.Fatalf("charge/event mismatch: %g vs %g", s.JunctionCharge(nd.JuncSource), wantCharge)
+	}
+}

@@ -1,0 +1,369 @@
+// Package solver is the Monte Carlo engine of the simulator (Fig. 3 of
+// the paper): an event loop that, each iteration, computes tunneling
+// rates for every possible event, draws the waiting time from Eq. 5,
+// selects an event with probability proportional to its rate, and
+// applies it.
+//
+// Two solvers share the loop:
+//
+//   - the non-adaptive solver recomputes every node potential and every
+//     junction rate after each event, like conventional MC
+//     single-electron simulators;
+//   - the adaptive solver (Algorithm 1) accumulates a per-junction
+//     testing factor b(i) and recomputes a junction's rates only when
+//     the potential change across it since its last recalculation
+//     exceeds alpha times its cached free-energy changes, spilling
+//     breadth-first to neighbours and refreshing everything
+//     periodically to bound the accumulated error.
+//
+// Secondary effects (cotunneling) and superconducting channels
+// (quasi-particle and Cooper-pair tunneling) are always handled by the
+// non-adaptive path, as in the paper.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"semsim/internal/circuit"
+	"semsim/internal/cotunnel"
+	"semsim/internal/rng"
+	"semsim/internal/super"
+	"semsim/internal/units"
+)
+
+// Options configures a simulation.
+type Options struct {
+	// Temp is the temperature in kelvin. Zero is allowed for normal
+	// circuits (hard Coulomb blockade) but not superconducting ones.
+	Temp float64
+	// Adaptive selects the adaptive solver (Algorithm 1) for
+	// single-electron tunnel rates.
+	Adaptive bool
+	// Alpha is the adaptive testing-factor threshold: a junction is
+	// recalculated when e*|b(i)| >= Alpha * min(|dW'fw|, |dW'bw|).
+	// Smaller is more accurate and slower. Default 0.05.
+	Alpha float64
+	// RefreshEvery forces a full recalculation of all potentials and
+	// rates every N events, bounding the adaptive method's cumulative
+	// error. Default: max(1024, number of junctions), so the amortized
+	// refresh cost stays a constant number of rate calculations per
+	// event on large circuits.
+	RefreshEvery int
+	// Cotunneling enables second-order inelastic cotunneling channels
+	// (normal-state circuits only).
+	Cotunneling bool
+	// Seed initializes the deterministic random stream.
+	Seed uint64
+	// CPWidthFloor is the minimum lifetime broadening hbar*gamma of the
+	// Cooper-pair resonance, as a fraction of the gap. Default 1e-3.
+	CPWidthFloor float64
+	// ProbeInterval decimates waveform recording: samples closer in
+	// time than this are dropped. Zero records every event.
+	ProbeInterval float64
+}
+
+func (o *Options) setDefaults(numJunctions int) {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.05
+	}
+	if o.RefreshEvery <= 0 {
+		o.RefreshEvery = 1024
+		if numJunctions > o.RefreshEvery {
+			o.RefreshEvery = numJunctions
+		}
+	}
+	if o.CPWidthFloor <= 0 {
+		o.CPWidthFloor = 1e-3
+	}
+}
+
+// Event channel kinds.
+type chKind uint8
+
+const (
+	chElectron chKind = iota // first-order tunneling (quasi-particle when superconducting)
+	chCotunnel               // second-order inelastic cotunneling
+	chCooper                 // Cooper-pair tunneling
+)
+
+// channel is one possible stochastic event.
+type channel struct {
+	kind     chKind
+	junc     int // primary junction id
+	junc2    int // second junction for cotunneling, else -1
+	src, dst int // node ids; carrier moves src -> dst
+	mid      int // intermediate island for cotunneling, else -1
+	q        float64
+	carriers int // electrons transferred (1 or 2)
+}
+
+// Stats counts the work the solver performed; RateCalcs is the
+// machine-independent cost metric the paper's adaptive claim is about.
+type Stats struct {
+	Events         uint64 // applied tunnel events
+	Steps          uint64 // loop iterations incl. capped no-event steps
+	RateCalcs      uint64 // channel rate evaluations
+	FullRefreshes  uint64
+	Flagged        uint64 // junctions flagged by the adaptive test
+	Tested         uint64 // junctions tested by the adaptive test
+	CotunnelEvents uint64
+	CooperEvents   uint64
+	// Dissipated is the total free energy released by tunnel events
+	// (joules) since the simulation started: each event dissipates -dW
+	// as heat. This is the quantity behind the paper's motivating claim
+	// that SET logic reaches ~1e-18 J per switching event.
+	Dissipated float64
+}
+
+// Sample is one waveform point of a probed node.
+type Sample struct {
+	T, V float64
+}
+
+// Sim is a Monte Carlo simulation bound to one circuit.
+type Sim struct {
+	c   *circuit.Circuit
+	opt Options
+	rnd *rng.Source
+
+	t    float64
+	n    []int     // electrons per island (island order)
+	v    []float64 // island potentials, exact after every event
+	vext []float64 // external voltages at current t
+
+	chans []channel
+	fen   *fenwick
+
+	// Per-junction adaptive state and channel indices.
+	b0       []float64 // accumulated testing factor (volts)
+	dwFw     []float64 // cached dW at last recalc, A->B
+	dwBw     []float64
+	chFw     []int // channel index per junction, electron A->B
+	chBw     []int
+	secChans []int // cotunnel + Cooper channel indices
+
+	// Superconducting machinery (nil/empty when normal).
+	superOn bool
+	gap     float64
+	qpTab   []*super.QPTable // per junction
+	ej      []float64        // per junction Josephson energy
+
+	// Time-dependence.
+	static  bool
+	breaks  []float64 // merged PWL breakpoints, sorted
+	maxStep float64   // cap for continuous sources (sine/ramps); 0 = none
+	horizon float64   // active Run deadline; steps never overshoot it
+
+	// Measurement.
+	charge    []float64 // per junction, conventional charge A->B (coulombs)
+	evFw      []uint64  // per junction, carrier moves A->B since reset
+	evBw      []uint64  // per junction, carrier moves B->A since reset
+	evCoop    []uint64  // per junction, Cooper-pair events since reset
+	measStart float64
+	probes    []int // node ids
+	waves     map[int][]Sample
+	lastProbe map[int]float64
+
+	// Scratch buffers for the adaptive BFS.
+	visited []uint32
+	stamp   uint32
+	scratch []int
+
+	stats Stats
+}
+
+// ErrBlockaded is reported by Run when no event has a positive rate and
+// no future input change can unblock the circuit — a hard Coulomb
+// blockade at T = 0.
+var ErrBlockaded = errors.New("solver: circuit is fully Coulomb-blockaded")
+
+// New prepares a simulation. The circuit must already be built.
+func New(c *circuit.Circuit, opt Options) (*Sim, error) {
+	if c.NumJunctions() == 0 {
+		return nil, errors.New("solver: circuit has no tunnel junctions")
+	}
+	opt.setDefaults(c.NumJunctions())
+	sp := c.Super()
+	if sp.Superconducting() {
+		if opt.Temp <= 0 {
+			return nil, errors.New("solver: superconducting simulation requires T > 0")
+		}
+		if opt.Cotunneling {
+			return nil, errors.New("solver: quasi-particle cotunneling is not modeled (paper neglects it); disable Cotunneling for superconducting circuits")
+		}
+	}
+	s := &Sim{
+		c:         c,
+		opt:       opt,
+		rnd:       rng.New(opt.Seed),
+		n:         make([]int, c.NumIslands()),
+		v:         make([]float64, c.NumIslands()),
+		vext:      c.ExternalVoltages(nil, 0),
+		charge:    make([]float64, c.NumJunctions()),
+		evFw:      make([]uint64, c.NumJunctions()),
+		evBw:      make([]uint64, c.NumJunctions()),
+		evCoop:    make([]uint64, c.NumJunctions()),
+		waves:     map[int][]Sample{},
+		lastProbe: map[int]float64{},
+		superOn:   sp.Superconducting(),
+		visited:   make([]uint32, c.NumJunctions()),
+	}
+	s.buildChannels()
+	if s.superOn {
+		if err := s.buildSuper(); err != nil {
+			return nil, err
+		}
+	}
+	s.collectBreakpoints()
+	s.fen = newFenwick(len(s.chans))
+	s.fullRefresh()
+	return s, nil
+}
+
+// buildChannels enumerates every event channel.
+func (s *Sim) buildChannels() {
+	nj := s.c.NumJunctions()
+	s.chFw = make([]int, nj)
+	s.chBw = make([]int, nj)
+	s.b0 = make([]float64, nj)
+	s.dwFw = make([]float64, nj)
+	s.dwBw = make([]float64, nj)
+	for j := 0; j < nj; j++ {
+		jn := s.c.Junction(j)
+		s.chFw[j] = len(s.chans)
+		s.chans = append(s.chans, channel{kind: chElectron, junc: j, junc2: -1, mid: -1,
+			src: jn.A, dst: jn.B, q: units.E, carriers: 1})
+		s.chBw[j] = len(s.chans)
+		s.chans = append(s.chans, channel{kind: chElectron, junc: j, junc2: -1, mid: -1,
+			src: jn.B, dst: jn.A, q: units.E, carriers: 1})
+	}
+	if s.opt.Cotunneling {
+		for _, ct := range cotunnel.Channels(s.c) {
+			s.secChans = append(s.secChans, len(s.chans))
+			s.chans = append(s.chans, channel{kind: chCotunnel, junc: ct.J1, junc2: ct.J2,
+				src: ct.Src, mid: ct.Mid, dst: ct.Dst, q: units.E, carriers: 1})
+		}
+	}
+	if s.c.Super().Superconducting() {
+		for j := 0; j < nj; j++ {
+			jn := s.c.Junction(j)
+			s.secChans = append(s.secChans, len(s.chans))
+			s.chans = append(s.chans, channel{kind: chCooper, junc: j, junc2: -1, mid: -1,
+				src: jn.A, dst: jn.B, q: 2 * units.E, carriers: 2})
+			s.secChans = append(s.secChans, len(s.chans))
+			s.chans = append(s.chans, channel{kind: chCooper, junc: j, junc2: -1, mid: -1,
+				src: jn.B, dst: jn.A, q: 2 * units.E, carriers: 2})
+		}
+	}
+}
+
+// qpCache shares quasi-particle tables across simulations: a table
+// depends only on (R, gap, temperature, voltage range), and parameter
+// sweeps build thousands of Sims over identical junctions. Tables are
+// immutable after construction, so concurrent reuse is safe.
+var qpCache sync.Map // qpKey -> *super.QPTable
+
+type qpKey struct {
+	r, gap, temp, vmax float64
+}
+
+func cachedQPTable(r, gap, temp, vmax float64) (*super.QPTable, error) {
+	// Bucket vmax to powers of two so nearby sweep points share tables.
+	bucket := math.Pow(2, math.Ceil(math.Log2(vmax)))
+	key := qpKey{r: r, gap: gap, temp: temp, vmax: bucket}
+	if t, ok := qpCache.Load(key); ok {
+		return t.(*super.QPTable), nil
+	}
+	t, err := super.NewQPTable(r, gap, gap, temp, bucket)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := qpCache.LoadOrStore(key, t)
+	return actual.(*super.QPTable), nil
+}
+
+// buildSuper prepares quasi-particle tables and Josephson energies.
+func (s *Sim) buildSuper() error {
+	sp := s.c.Super()
+	s.gap = super.Gap(sp.GapAt0, sp.Tc, s.opt.Temp)
+	// Voltage range the tables must cover: gaps, biases and charging
+	// energies with headroom. Beyond it the tables extrapolate into the
+	// (correct) ohmic asymptote.
+	maxSrc := 0.0
+	for _, id := range s.c.Externals() {
+		v := math.Abs(s.c.SourceVoltage(id, 0))
+		if v > maxSrc {
+			maxSrc = v
+		}
+	}
+	maxEc := 0.0
+	for _, isl := range s.c.Islands() {
+		ec := units.ChargingEnergy(s.c.SumCapacitance(isl))
+		if ec > maxEc {
+			maxEc = ec
+		}
+	}
+	vmax := (8*s.gap+8*maxEc)/units.E + 4*maxSrc + 20*units.KB*s.opt.Temp/units.E
+	s.qpTab = make([]*super.QPTable, s.c.NumJunctions())
+	s.ej = make([]float64, s.c.NumJunctions())
+	for j := 0; j < s.c.NumJunctions(); j++ {
+		r := s.c.Junction(j).R
+		tab, err := cachedQPTable(r, s.gap, s.opt.Temp, vmax)
+		if err != nil {
+			return fmt.Errorf("solver: quasi-particle table for R=%g: %w", r, err)
+		}
+		s.qpTab[j] = tab
+		s.ej[j] = super.JosephsonEnergy(r, s.gap, s.opt.Temp)
+	}
+	return nil
+}
+
+// collectBreakpoints merges PWL breakpoints of all sources and decides
+// the step cap for continuously varying sources.
+func (s *Sim) collectBreakpoints() {
+	s.static = s.c.AllSourcesStatic()
+	if s.static {
+		return
+	}
+	seen := map[float64]bool{}
+	minSine := math.Inf(1)
+	for _, id := range s.c.Externals() {
+		switch src := s.sourceOf(id).(type) {
+		case circuit.PWL:
+			if src.Static() {
+				continue
+			}
+			for _, bp := range src.T {
+				if !seen[bp] {
+					seen[bp] = true
+					s.breaks = append(s.breaks, bp)
+				}
+			}
+		case circuit.Sine:
+			if !src.Static() && src.Freq > 0 {
+				if p := 1 / src.Freq; p < minSine {
+					minSine = p
+				}
+			}
+		}
+	}
+	sortFloats(s.breaks)
+	if !math.IsInf(minSine, 1) {
+		s.maxStep = minSine / 64
+	}
+	// PWL ramps (non-flat segments) also need capping; handled
+	// dynamically in nextCap using segment slopes.
+}
+
+func (s *Sim) sourceOf(node int) circuit.Source { return s.c.SourceOf(node) }
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}

@@ -1,0 +1,429 @@
+package solver
+
+import (
+	"math"
+
+	"semsim/internal/cotunnel"
+	"semsim/internal/orthodox"
+	"semsim/internal/super"
+	"semsim/internal/units"
+)
+
+// --- Potentials ---
+//
+// Island potentials are updated exactly and incrementally after every
+// event: moving charge mq from src to dst shifts island k by
+// mq*(Cinv[k][src] - Cinv[k][dst]), a fused pass over two contiguous
+// C^-1 rows. This costs O(islands) floating-point adds per event —
+// orders of magnitude cheaper than the O(junctions) exp-laden rate
+// recomputation the adaptive solver avoids, so adaptivity is applied
+// to rates only. (An earlier lazy-replay scheme deferred these adds
+// per island; its bookkeeping dominated the adaptive solver's cost on
+// the largest benchmarks.)
+
+// shiftPotentials applies the exact potential change of one transfer to
+// every island.
+func (s *Sim) shiftPotentials(src, dst int, mq float64) {
+	v := s.v
+	if k := s.c.IslandIndex(src); k >= 0 {
+		row := s.c.CinvRow(k)
+		for i := range v {
+			v[i] += mq * row[i]
+		}
+	}
+	if k := s.c.IslandIndex(dst); k >= 0 {
+		row := s.c.CinvRow(k)
+		for i := range v {
+			v[i] -= mq * row[i]
+		}
+	}
+}
+
+// nodeV returns the potential of any node.
+func (s *Sim) nodeV(node int) float64 {
+	if k := s.c.IslandIndex(node); k >= 0 {
+		return s.v[k]
+	}
+	return s.c.SourceVoltage(node, s.t)
+}
+
+// --- Rate computation ---
+
+// elecRate computes the first-order rate of moving one electron
+// src -> dst through junction j (quasi-particle rate in the
+// superconducting state) and returns both the rate and the dW used.
+func (s *Sim) elecRate(j, src, dst int) (rate, dw float64) {
+	s.stats.RateCalcs++
+	dw = s.c.DeltaWElectron(src, dst, s.nodeV(src), s.nodeV(dst))
+	if s.superOn {
+		return s.qpTab[j].Rate(dw), dw
+	}
+	return orthodox.Rate(dw, s.c.Junction(j).R, s.opt.Temp), dw
+}
+
+// recalcJunction refreshes both direction rates of junction j, caching
+// the free-energy changes and resetting the accumulated testing factor.
+func (s *Sim) recalcJunction(j int) {
+	jn := s.c.Junction(j)
+	fw, dwFw := s.elecRate(j, jn.A, jn.B)
+	bw, dwBw := s.elecRate(j, jn.B, jn.A)
+	s.dwFw[j], s.dwBw[j] = dwFw, dwBw
+	s.b0[j] = 0
+	s.fen.set(s.chFw[j], fw)
+	s.fen.set(s.chBw[j], bw)
+}
+
+// recalcSecondary refreshes every cotunneling and Cooper-pair channel
+// (the non-adaptive solver of Fig. 3's flow).
+func (s *Sim) recalcSecondary() {
+	for _, ci := range s.secChans {
+		ch := &s.chans[ci]
+		switch ch.kind {
+		case chCotunnel:
+			s.fen.set(ci, s.cotunnelRate(ch))
+		case chCooper:
+			s.fen.set(ci, s.cooperRate(ch))
+		}
+	}
+}
+
+func (s *Sim) cotunnelRate(ch *channel) float64 {
+	s.stats.RateCalcs++
+	vSrc, vMid, vDst := s.nodeV(ch.src), s.nodeV(ch.mid), s.nodeV(ch.dst)
+	dw := s.c.DeltaWElectron(ch.src, ch.dst, vSrc, vDst)
+	e1 := s.c.DeltaWElectron(ch.src, ch.mid, vSrc, vMid)
+	e2 := s.c.DeltaWElectron(ch.mid, ch.dst, vMid, vDst)
+	return cotunnel.Rate(dw, e1, e2, s.c.Junction(ch.junc).R, s.c.Junction(ch.junc2).R, s.opt.Temp)
+}
+
+// cooperRate computes the incoherent resonant Cooper-pair rate for a
+// channel. The lifetime broadening gamma is the total quasi-particle
+// escape rate out of the post-tunneling state (the events that complete
+// a JQP/DJQP cycle), floored at CPWidthFloor * gap / hbar.
+func (s *Sim) cooperRate(ch *channel) float64 {
+	s.stats.RateCalcs++
+	ej := s.ej[ch.junc]
+	if ej <= 0 {
+		return 0
+	}
+	dw2 := s.c.DeltaW(ch.src, ch.dst, 2*units.E, s.nodeV(ch.src), s.nodeV(ch.dst))
+	gamma := s.qpEscapeAfter(ch)
+	if floor := s.opt.CPWidthFloor * s.gap / units.Hbar; gamma < floor {
+		gamma = floor
+	}
+	return super.CooperPairRate(dw2, ej, gamma)
+}
+
+// qpEscapeAfter sums the quasi-particle rates available after the
+// Cooper pair of channel ch has tunneled, over every junction touching
+// the affected islands.
+func (s *Sim) qpEscapeAfter(ch *channel) float64 {
+	shift := func(node int) float64 {
+		if k := s.c.IslandIndex(node); k >= 0 {
+			return s.c.PotentialShift(k, ch.src, ch.dst, 2*units.E)
+		}
+		return 0
+	}
+	post := func(node int) float64 { return s.nodeV(node) + shift(node) }
+	var js []int
+	seen := map[int]bool{}
+	for _, node := range [2]int{ch.src, ch.dst} {
+		if s.c.IslandIndex(node) < 0 {
+			continue
+		}
+		for _, j := range s.c.JunctionsAt(node) {
+			if !seen[j] {
+				seen[j] = true
+				js = append(js, j)
+			}
+		}
+	}
+	total := 0.0
+	for _, j := range js {
+		jn := s.c.Junction(j)
+		va, vb := post(jn.A), post(jn.B)
+		total += s.qpTab[j].Rate(s.c.DeltaWElectron(jn.A, jn.B, va, vb))
+		total += s.qpTab[j].Rate(s.c.DeltaWElectron(jn.B, jn.A, vb, va))
+		s.stats.RateCalcs += 2
+	}
+	return total
+}
+
+// --- Refresh paths ---
+
+// fullRefresh recomputes everything exactly: external voltages, island
+// potentials from scratch (the O(islands^2) matrix-vector product; with
+// the refresh interval scaled to the junction count its amortized cost
+// is O(islands) per event), all channel rates, and the selection tree.
+func (s *Sim) fullRefresh() {
+	s.stats.FullRefreshes++
+	s.vext = s.c.ExternalVoltages(s.vext, s.t)
+	s.v = s.c.IslandPotentials(s.v, s.n, s.t)
+	for j := 0; j < s.c.NumJunctions(); j++ {
+		s.recalcJunction(j)
+	}
+	s.recalcSecondary()
+	s.fen.rebuild()
+}
+
+// nonAdaptiveUpdate recomputes all rates after an event (potentials are
+// refreshed lazily but every junction touches its nodes, so everything
+// becomes fresh).
+func (s *Sim) nonAdaptiveUpdate() {
+	for j := 0; j < s.c.NumJunctions(); j++ {
+		s.recalcJunction(j)
+	}
+	s.recalcSecondary()
+}
+
+// adaptiveUpdate implements Algorithm 1 after the event on channel ch:
+// test the event junction(s), flag and recompute those whose potential
+// change exceeds the threshold, and spill to neighbours of flagged
+// junctions.
+func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue []int) []int {
+	deltaP := func(node int) float64 {
+		if k := s.c.IslandIndex(node); k >= 0 {
+			return s.c.PotentialShift(k, ch.src, ch.dst, ch.q)
+		}
+		return 0
+	}
+	queue = queue[:0]
+	push := func(j int) {
+		if visited[j] != stamp {
+			visited[j] = stamp
+			queue = append(queue, j)
+		}
+	}
+	push(ch.junc)
+	if ch.junc2 >= 0 {
+		push(ch.junc2)
+	}
+	for head := 0; head < len(queue); head++ {
+		j := queue[head]
+		jn := s.c.Junction(j)
+		b := s.b0[j] + deltaP(jn.A) - deltaP(jn.B)
+		s.stats.Tested++
+		thr := math.Min(math.Abs(s.dwFw[j]), math.Abs(s.dwBw[j]))
+		if units.E*math.Abs(b) >= s.opt.Alpha*thr {
+			s.stats.Flagged++
+			s.recalcJunction(j)
+			for _, nb := range s.c.JunctionNeighbors(j) {
+				push(nb)
+			}
+		} else {
+			s.b0[j] = b
+		}
+	}
+	s.recalcSecondary()
+	return queue
+}
+
+// handleInputChange reacts to source voltages moving between t0 and the
+// current time: island potentials get the exact external shift, and
+// junction rates are either all recomputed (non-adaptive) or tested
+// from the junctions in contact with the changed inputs (adaptive).
+func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []int {
+	vextNew := s.c.ExternalVoltages(nil, s.t)
+	changed := false
+	for i := range vextNew {
+		if vextNew[i] != s.vext[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return queue
+	}
+	// Apply the exact external shift to every island potential.
+	ni := s.c.NumIslands()
+	dv := make([]float64, ni)
+	s.c.ExternalDelta(dv, s.vext, vextNew)
+	for k := 0; k < ni; k++ {
+		s.v[k] += dv[k]
+	}
+	dext := make(map[int]float64)
+	for i, id := range s.c.Externals() {
+		if vextNew[i] != s.vext[i] {
+			dext[id] = vextNew[i] - s.vext[i]
+		}
+	}
+	s.vext = vextNew
+
+	if !s.opt.Adaptive {
+		s.nonAdaptiveUpdate()
+		return queue
+	}
+	// Inputs couple to junctions through arbitrary capacitor networks
+	// (a logic gate's input is a pure capacitor), so there is no local
+	// junction set to spill from. Instead the exact potential shift of
+	// every node is already known (dv, dext): fold it into each
+	// junction's accumulated testing factor — O(J) arithmetic with no
+	// rate evaluations — and recalculate only those over threshold.
+	deltaP := func(node int) float64 {
+		if k := s.c.IslandIndex(node); k >= 0 {
+			return dv[k]
+		}
+		return dext[node]
+	}
+	for j := 0; j < s.c.NumJunctions(); j++ {
+		jn := s.c.Junction(j)
+		b := s.b0[j] + deltaP(jn.A) - deltaP(jn.B)
+		s.stats.Tested++
+		thr := math.Min(math.Abs(s.dwFw[j]), math.Abs(s.dwBw[j]))
+		if units.E*math.Abs(b) >= s.opt.Alpha*thr {
+			s.stats.Flagged++
+			s.recalcJunction(j)
+		} else {
+			s.b0[j] = b
+		}
+	}
+	s.recalcSecondary()
+	return queue
+}
+
+// --- Event application ---
+
+// apply moves the channel's carriers, updates every island potential
+// exactly, and accumulates measured charge, event counts and dissipated
+// energy per junction.
+func (s *Sim) apply(ch *channel) {
+	// Free energy released by this event (evaluated with the exact
+	// pre-event potentials; thermal fluctuations can make it negative).
+	dw := s.c.DeltaW(ch.src, ch.dst, ch.q, s.nodeV(ch.src), s.nodeV(ch.dst))
+	s.stats.Dissipated += -dw
+	s.c.ApplyTransfer(s.n, ch.src, ch.dst, ch.carriers)
+	s.shiftPotentials(ch.src, ch.dst, ch.q)
+	// Conventional current A->B is positive charge A->B; electrons
+	// moving src->dst carry -q, so charge +q flows dst->src.
+	sign := func(jid int, src int) float64 {
+		if s.c.Junction(jid).A == src {
+			s.evFw[jid]++
+			return -1 // electrons A->B: conventional charge B->A
+		}
+		s.evBw[jid]++
+		return 1
+	}
+	switch ch.kind {
+	case chCotunnel:
+		s.stats.CotunnelEvents++
+		s.charge[ch.junc] += sign(ch.junc, ch.src) * ch.q
+		s.charge[ch.junc2] += sign(ch.junc2, ch.mid) * ch.q
+	case chCooper:
+		s.stats.CooperEvents++
+		s.evCoop[ch.junc]++
+		s.charge[ch.junc] += sign(ch.junc, ch.src) * ch.q
+	default:
+		s.charge[ch.junc] += sign(ch.junc, ch.src) * ch.q
+	}
+}
+
+// --- Main loop ---
+
+// nextCap returns the earliest time at which the solver must stop and
+// re-evaluate inputs (PWL breakpoint, ramp subdivision or sine cap),
+// or +Inf for static circuits.
+func (s *Sim) nextCap() float64 {
+	cap := math.Inf(1)
+	if s.horizon > 0 {
+		cap = s.horizon
+	}
+	if s.static {
+		return cap
+	}
+	for _, bp := range s.breaks {
+		if bp > s.t {
+			if bp < cap {
+				cap = bp
+			}
+			break
+		}
+	}
+	if s.maxStep > 0 && s.t+s.maxStep < cap {
+		cap = s.t + s.maxStep
+	}
+	// Inside a moving PWL ramp, subdivide the segment.
+	for _, id := range s.c.Externals() {
+		p, ok := s.sourceOf(id).(PWLRamp)
+		if !ok {
+			continue
+		}
+		if step := p.RampStep(s.t); step > 0 && s.t+step < cap {
+			cap = s.t + step
+		}
+	}
+	return cap
+}
+
+// PWLRamp is implemented by sources that need step subdivision while
+// their output is actively changing (circuit.PWL qualifies through the
+// adapter below).
+type PWLRamp interface {
+	RampStep(t float64) float64
+}
+
+// Step advances the simulation by one iteration. It returns true if a
+// tunnel event was applied, false if the step was capped by an input
+// change. ErrBlockaded is returned when nothing can ever happen again.
+func (s *Sim) Step() (bool, error) {
+	s.stats.Steps++
+	total := s.fen.total()
+	cap := s.nextCap()
+	if total <= 0 || math.IsInf(1/total, 1) {
+		if math.IsInf(cap, 1) {
+			return false, ErrBlockaded
+		}
+		s.t = cap
+		s.scratch = s.handleInputChange(s.visited, s.bumpStamp(), s.scratch)
+		s.recordProbes()
+		return false, nil
+	}
+	dt := s.rnd.Exp(total)
+	if s.t+dt > cap {
+		// Stopping a Poisson process mid-interval and redrawing is exact
+		// (memorylessness), so capping at breakpoints, ramp subdivisions
+		// and the run horizon does not bias the dynamics.
+		s.t = cap
+		s.scratch = s.handleInputChange(s.visited, s.bumpStamp(), s.scratch)
+		s.recordProbes()
+		return false, nil
+	}
+	s.t += dt
+	idx := s.fen.find(s.rnd.Float64() * total)
+	ch := &s.chans[idx]
+	s.apply(ch)
+	s.stats.Events++
+	if s.opt.RefreshEvery > 0 && s.stats.Events%uint64(s.opt.RefreshEvery) == 0 {
+		s.fullRefresh()
+	} else if s.opt.Adaptive {
+		s.scratch = s.adaptiveUpdate(ch, s.visited, s.bumpStamp(), s.scratch)
+	} else {
+		s.nonAdaptiveUpdate()
+	}
+	s.recordProbes()
+	return true, nil
+}
+
+// Run advances until maxEvents tunnel events have been applied or the
+// simulated time reaches maxTime (whichever is positive and comes
+// first). A timed run never overshoots maxTime: the last Monte Carlo
+// waiting interval is truncated at the horizon, which is unbiased by
+// memorylessness and keeps waveforms and current averaging windows
+// exact. It returns the number of events applied.
+func (s *Sim) Run(maxEvents uint64, maxTime float64) (uint64, error) {
+	if maxTime > 0 {
+		s.horizon = maxTime
+		defer func() { s.horizon = 0 }()
+	}
+	start := s.stats.Events
+	for {
+		if maxEvents > 0 && s.stats.Events-start >= maxEvents {
+			return s.stats.Events - start, nil
+		}
+		if maxTime > 0 && s.t >= maxTime {
+			return s.stats.Events - start, nil
+		}
+		if _, err := s.Step(); err != nil {
+			return s.stats.Events - start, err
+		}
+	}
+}

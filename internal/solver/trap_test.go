@@ -1,0 +1,117 @@
+package solver
+
+import (
+	"testing"
+
+	"semsim/internal/circuit"
+)
+
+// buildTrap wires the electron-trap memory element (storage island
+// behind a two-junction barrier) with a triangular gate sweep.
+func buildTrap(t *testing.T) (*circuit.Circuit, int, circuit.PWL) {
+	t.Helper()
+	c := circuit.New()
+	word := c.AddNode("word", circuit.External)
+	c.SetSource(word, circuit.DC(0))
+	gnd := c.AddNode("gnd", circuit.External)
+	c.SetSource(gnd, circuit.DC(0))
+	gate := c.AddNode("gate", circuit.External)
+	ramp := circuit.PWL{
+		T:    []float64{0, 5e-6, 15e-6, 20e-6},
+		Volt: []float64{0, 0.10, -0.10, 0},
+	}
+	c.SetSource(gate, ramp)
+	mid := c.AddNode("mid", circuit.Island)
+	c.AddJunction(word, mid, 1e6, 2*aF)
+	c.AddCap(mid, gnd, 0.5*aF)
+	store := c.AddNode("store", circuit.Island)
+	c.AddJunction(mid, store, 1e6, 2*aF)
+	c.AddCap(store, gnd, 6*aF)
+	c.AddCap(gate, store, 6*aF)
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return c, store, ramp
+}
+
+// TestElectronTrapHysteresis: the single-electron memory of the paper's
+// introduction. Charging and discharging thresholds must differ (the
+// loop), and the stored electron must survive the return to Vg = 0.
+func TestElectronTrapHysteresis(t *testing.T) {
+	c, store, ramp := buildTrap(t)
+	s, err := New(c, Options{Temp: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, exit := 0.0, 0.0
+	haveEntry, haveExit := false, false
+	prev := 0
+	for tq := 0.1e-6; tq <= 20e-6; tq += 0.1e-6 {
+		if _, err := s.Run(0, tq); err != nil && err != ErrBlockaded {
+			t.Fatal(err)
+		}
+		n := s.ElectronCount(store)
+		if n != prev {
+			vg := ramp.V(tq)
+			if !haveEntry && prev == 0 && n == 1 {
+				entry, haveEntry = vg, true
+			}
+			if haveEntry && !haveExit && prev == 1 && n == 0 {
+				exit, haveExit = vg, true
+			}
+			prev = n
+		}
+	}
+	if !haveEntry || !haveExit {
+		t.Fatalf("no complete hysteresis loop: entry=%v exit=%v", haveEntry, haveExit)
+	}
+	if entry <= 0 || exit >= 0 {
+		t.Fatalf("thresholds not hysteretic: entry %.1f mV, exit %.1f mV", entry*1e3, exit*1e3)
+	}
+	if entry-exit < 0.05 {
+		t.Fatalf("hysteresis window too narrow: %.1f mV", (entry-exit)*1e3)
+	}
+}
+
+// TestElectronTrapRetention: with the gate held at 0 after writing, the
+// bit must persist (the barrier is ~150 K of charging energy vs 1 K).
+func TestElectronTrapRetention(t *testing.T) {
+	c := circuit.New()
+	word := c.AddNode("word", circuit.External)
+	c.SetSource(word, circuit.DC(0))
+	gnd := c.AddNode("gnd", circuit.External)
+	c.SetSource(gnd, circuit.DC(0))
+	gate := c.AddNode("gate", circuit.External)
+	// Write pulse then hold at zero for a long time.
+	c.SetSource(gate, circuit.PWL{
+		T:    []float64{0, 2e-6, 3e-6, 4e-6},
+		Volt: []float64{0, 0.10, 0.10, 0},
+	})
+	mid := c.AddNode("mid", circuit.Island)
+	c.AddJunction(word, mid, 1e6, 2*aF)
+	c.AddCap(mid, gnd, 0.5*aF)
+	store := c.AddNode("store", circuit.Island)
+	c.AddJunction(mid, store, 1e6, 2*aF)
+	c.AddCap(store, gnd, 6*aF)
+	c.AddCap(gate, store, 6*aF)
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c, Options{Temp: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(0, 3.5e-6); err != nil && err != ErrBlockaded {
+		t.Fatal(err)
+	}
+	if n := s.ElectronCount(store); n != 1 {
+		t.Fatalf("write failed: storage holds %d electrons", n)
+	}
+	// Hold for 1 ms of simulated time — nine decades past the write.
+	if _, err := s.Run(0, 1e-3); err != nil && err != ErrBlockaded {
+		t.Fatal(err)
+	}
+	if n := s.ElectronCount(store); n != 1 {
+		t.Fatalf("bit lost during retention: storage holds %d electrons", n)
+	}
+}

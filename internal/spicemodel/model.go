@@ -1,0 +1,167 @@
+// Package spicemodel is the analytical "SPICE" baseline the paper
+// compares against (its Figs. 6 and 7 use an extended Inokawa-style
+// compact SET model inside a circuit simulator).
+//
+// The compact model here is the steady-state master-equation current of
+// an isolated SET, I(Vds, q0), tabulated once per device geometry and
+// interpolated. Like any compact model it is an *averaged, continuous*
+// description: interconnect charge quantization, device-device
+// correlation and cotunneling are all absent — which is exactly why the
+// paper treats SPICE results as fast but approximate, and why its
+// propagation delays deviate from Monte Carlo by ~9% where the solver
+// converges at all.
+//
+// The transient engine is a dense-matrix MNA simulator with backward
+// Euler integration and Newton-Raphson per step. Like real SPICE it
+// can fail to converge on stiff single-electron logic; that failure is
+// reported, mirroring the benchmarks missing from the paper's Fig. 6.
+package spicemodel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"semsim/internal/circuit"
+	"semsim/internal/master"
+	"semsim/internal/units"
+)
+
+// DeviceParams describes one SET geometry for the compact model.
+type DeviceParams struct {
+	R1, R2 float64 // junction resistances (ohms)
+	C1, C2 float64 // junction capacitances (farads)
+	CgSum  float64 // total gate capacitance (farads)
+	Temp   float64 // kelvin
+}
+
+// Csum returns the island's total capacitance.
+func (d DeviceParams) Csum() float64 { return d.C1 + d.C2 + d.CgSum }
+
+// Model is a tabulated I(Vds, q0) compact SET model. q0 is the
+// externally induced island charge (coulombs) excluding the C1*Vds
+// contribution, which the table handles internally; it is periodic
+// in e.
+type Model struct {
+	p      DeviceParams
+	vmax   float64
+	nV, nQ int
+	dV, dQ float64
+	table  []float64 // row-major [iq][iv]
+}
+
+// NewModel builds the table by solving the steady-state master equation
+// on a (Vds, q0) grid. vmax must cover the largest drain-source voltage
+// the transient will see. The voltage grid resolves the thermal
+// smearing scale kT/e (the sharpest feature width in the I-V surface);
+// an under-resolved table smooths over the conduction-window edges and
+// systematically overestimates drive near the logic stall points.
+func NewModel(p DeviceParams, vmax float64) (*Model, error) {
+	if vmax <= 0 {
+		return nil, fmt.Errorf("spicemodel: vmax must be positive")
+	}
+	nV := 129
+	if p.Temp > 0 {
+		want := int(2*vmax/(0.25*units.KB*p.Temp/units.E)) + 1
+		if want > nV {
+			nV = want
+		}
+		if nV > 3073 {
+			nV = 3073
+		}
+	}
+	m := &Model{p: p, vmax: vmax, nV: nV, nQ: 257}
+	m.dV = 2 * vmax / float64(m.nV-1)
+	m.dQ = units.E / float64(m.nQ-1)
+	m.table = make([]float64, m.nV*m.nQ)
+	// A synthetic gate with Cg = CgSum reproduces any induced charge via
+	// Vg = q0/Cg. Grid q0 in [0, e].
+	for iq := 0; iq < m.nQ; iq++ {
+		q0 := float64(iq) * m.dQ
+		for iv := 0; iv < m.nV; iv++ {
+			vds := -vmax + float64(iv)*m.dV
+			c, _ := circuit.NewSET(circuit.SETConfig{
+				R1: p.R1, C1: p.C1, R2: p.R2, C2: p.C2,
+				Cg: p.CgSum,
+				Vs: vds, Vd: 0, Vg: q0 / p.CgSum,
+			})
+			res, err := master.Solve(c, p.Temp, -8, 8)
+			if err != nil {
+				return nil, fmt.Errorf("spicemodel: master solve at Vds=%g q0=%g: %w", vds, q0, err)
+			}
+			// Current through the drain junction, source -> drain sign.
+			m.table[iq*m.nV+iv] = res.Current[1]
+		}
+	}
+	return m, nil
+}
+
+// Current returns the interpolated drain current for drain-source
+// voltage vds and induced charge q0 (coulombs, any value — reduced
+// modulo e).
+func (m *Model) Current(vds, q0 float64) float64 {
+	// Clamp Vds to the table (the transient never exceeds it by design).
+	if vds > m.vmax {
+		vds = m.vmax
+	}
+	if vds < -m.vmax {
+		vds = -m.vmax
+	}
+	q := math.Mod(q0, units.E)
+	if q < 0 {
+		q += units.E
+	}
+	fv := (vds + m.vmax) / m.dV
+	fq := q / m.dQ
+	iv := int(fv)
+	iq := int(fq)
+	if iv >= m.nV-1 {
+		iv = m.nV - 2
+	}
+	if iq >= m.nQ-1 {
+		iq = m.nQ - 2
+	}
+	av := fv - float64(iv)
+	aq := fq - float64(iq)
+	i00 := m.table[iq*m.nV+iv]
+	i01 := m.table[iq*m.nV+iv+1]
+	i10 := m.table[(iq+1)*m.nV+iv]
+	i11 := m.table[(iq+1)*m.nV+iv+1]
+	return i00*(1-av)*(1-aq) + i01*av*(1-aq) + i10*(1-av)*aq + i11*av*aq
+}
+
+// modelCache shares tables across FromCircuit calls: experiment sweeps
+// rebuild the compact view per operating point over identical device
+// geometries. Tables are immutable after construction.
+var modelCache sync.Map // modelKey -> *Model
+
+type modelKey struct {
+	p    DeviceParams
+	vmax float64
+}
+
+// cachedModel returns a (possibly shared) table covering at least vmax,
+// bucketing the range to powers of two so nearby requests hit.
+func cachedModel(p DeviceParams, vmax float64) (*Model, error) {
+	bucket := math.Pow(2, math.Ceil(math.Log2(vmax)))
+	key := modelKey{p: p, vmax: bucket}
+	if m, ok := modelCache.Load(key); ok {
+		return m.(*Model), nil
+	}
+	m, err := NewModel(p, bucket)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := modelCache.LoadOrStore(key, m)
+	return actual.(*Model), nil
+}
+
+// GV returns the numerical conductances (dI/dVds, dI/dq0) used for
+// Newton-Raphson stamps.
+func (m *Model) GV(vds, q0 float64) (gds, gq float64) {
+	dv := m.dV / 2
+	dq := m.dQ / 2
+	gds = (m.Current(vds+dv, q0) - m.Current(vds-dv, q0)) / (2 * dv)
+	gq = (m.Current(vds, q0+dq) - m.Current(vds, q0-dq)) / (2 * dq)
+	return gds, gq
+}

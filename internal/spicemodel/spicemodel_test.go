@@ -1,0 +1,199 @@
+package spicemodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"semsim/internal/circuit"
+	"semsim/internal/logicnet"
+	"semsim/internal/master"
+	"semsim/internal/trace"
+	"semsim/internal/units"
+)
+
+const aF = units.Atto
+
+func testParams() DeviceParams {
+	return DeviceParams{
+		R1: 1e6, R2: 1e6, C1: aF, C2: aF, CgSum: 3 * aF, Temp: 5,
+	}
+}
+
+func TestModelMatchesMasterEquation(t *testing.T) {
+	m, err := NewModel(testParams(), 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ vds, vg float64 }{
+		{0.04, 0}, {0.02, 0.0267}, {-0.04, 0.01}, {0.06, 0.005},
+	} {
+		c, _ := circuit.NewSET(circuit.SETConfig{
+			R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+			Vs: tc.vds, Vd: 0, Vg: tc.vg,
+		})
+		ref, err := master.Solve(c, 5, -8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.Current(tc.vds, 3*aF*tc.vg)
+		want := ref.Current[1]
+		if math.IsNaN(got) || math.IsNaN(want) {
+			t.Fatalf("Vds=%g Vg=%g: NaN (model %g, ME %g)", tc.vds, tc.vg, got, want)
+		}
+		tol := 0.02*math.Abs(want) + 2e-12
+		if !(math.Abs(got-want) <= tol) {
+			t.Fatalf("Vds=%g Vg=%g: model %g vs ME %g", tc.vds, tc.vg, got, want)
+		}
+	}
+}
+
+func TestModelPeriodicInCharge(t *testing.T) {
+	m, err := NewModel(testParams(), 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1 := m.Current(0.02, 0.3*units.E)
+	i2 := m.Current(0.02, 1.3*units.E)
+	i3 := m.Current(0.02, -0.7*units.E)
+	if math.Abs(i1-i2) > 1e-15 || math.Abs(i1-i3) > 1e-15 {
+		t.Fatalf("model not e-periodic: %g %g %g", i1, i2, i3)
+	}
+}
+
+func TestModelAntisymmetry(t *testing.T) {
+	// At q0 = 0 the symmetric device obeys I(-V) = -I(V).
+	m, err := NewModel(testParams(), 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.01, 0.03, 0.05} {
+		a, b := m.Current(v, 0), m.Current(-v, 0)
+		if math.Abs(a+b) > 1e-3*math.Abs(a)+1e-14 {
+			t.Fatalf("not antisymmetric at %g: %g vs %g", v, a, b)
+		}
+	}
+}
+
+func TestModelConductances(t *testing.T) {
+	m, err := NewModel(testParams(), 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Above threshold the differential conductance approaches ~1/(R1+R2).
+	gds, _ := m.GV(0.07, 0)
+	if gds < 0.2/2e6 || gds > 2/2e6 {
+		t.Fatalf("gds above threshold = %g, want ~%g", gds, 1/2e6)
+	}
+	// In deep blockade it is strongly suppressed.
+	gBlock, _ := m.GV(0.005, 0)
+	if gBlock > gds/10 {
+		t.Fatalf("blockade conductance not suppressed: %g vs %g", gBlock, gds)
+	}
+}
+
+// buildInverter expands a single SET inverter for transient testing.
+func buildInverter(t *testing.T, vin circuit.Source) *logicnet.Expanded {
+	t.Helper()
+	nl, err := logicnet.Parse(strings.NewReader("input a\noutput y\ny = INV a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := nl.Expand(logicnet.DefaultParams(), map[string]circuit.Source{"a": vin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func TestFromCircuitFindsDevices(t *testing.T) {
+	ex := buildInverter(t, circuit.DC(0))
+	s, err := FromCircuit(ex.Circuit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDevices() != 2 {
+		t.Fatalf("inverter: %d devices, want 2", s.NumDevices())
+	}
+}
+
+func TestTransientInverterStatics(t *testing.T) {
+	p := logicnet.DefaultParams()
+	vdd := p.Vdd()
+	for _, tc := range []struct {
+		in       float64
+		wantHigh bool
+	}{
+		{0, true},
+		{vdd, false},
+	} {
+		ex := buildInverter(t, circuit.DC(tc.in))
+		s, err := FromCircuit(ex.Circuit, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(120e-9, 0.5e-9); err != nil {
+			t.Fatal(err)
+		}
+		v := s.Voltage(ex.Wire["y"])
+		if tc.wantHigh && v < 0.6*vdd {
+			t.Fatalf("SPICE INV(%g): out %g, want high (Vdd=%g)", tc.in, v, vdd)
+		}
+		if !tc.wantHigh && v > 0.4*vdd {
+			t.Fatalf("SPICE INV(%g): out %g, want low", tc.in, v)
+		}
+	}
+}
+
+func TestTransientInverterDelay(t *testing.T) {
+	p := logicnet.DefaultParams()
+	vdd := p.Vdd()
+	ex := buildInverter(t, circuit.PWL{
+		T:    []float64{0, 80e-9, 81e-9},
+		Volt: []float64{0, 0, vdd},
+	})
+	s, err := FromCircuit(ex.Circuit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ex.Wire["y"]
+	s.Probe(out)
+	if err := s.Run(300e-9, 0.5e-9); err != nil {
+		t.Fatal(err)
+	}
+	d, err := trace.PropagationDelay(s.Waveform(out), 81e-9, vdd/2, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > 100e-9 {
+		t.Fatalf("implausible SPICE delay %g", d)
+	}
+}
+
+func TestFromCircuitRejectsOddIslands(t *testing.T) {
+	// A three-junction island is not a SET.
+	c := circuit.New()
+	g := c.AddNode("g", circuit.External)
+	c.SetSource(g, circuit.DC(0))
+	isl := c.AddNode("i", circuit.Island)
+	c.AddJunction(g, isl, 1e6, aF)
+	c.AddJunction(g, isl, 1e6, aF)
+	c.AddJunction(g, isl, 1e6, aF)
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromCircuit(c, 1); err == nil {
+		t.Fatal("accepted 3-junction island")
+	}
+}
+
+func TestRunRejectsBadStep(t *testing.T) {
+	ex := buildInverter(t, circuit.DC(0))
+	s, err := FromCircuit(ex.Circuit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1e-9, 0); err == nil {
+		t.Fatal("accepted zero time step")
+	}
+}

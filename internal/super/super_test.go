@@ -1,0 +1,307 @@
+package super
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/numeric"
+	"semsim/internal/units"
+)
+
+func TestGapLimits(t *testing.T) {
+	d0 := units.MeV(0.2)
+	tc := 1.2
+	if Gap(d0, tc, 0) != d0 {
+		t.Fatal("Gap(0) != Delta0")
+	}
+	if Gap(d0, tc, tc) != 0 || Gap(d0, tc, 2*tc) != 0 {
+		t.Fatal("Gap above Tc must vanish")
+	}
+	// Monotone decreasing.
+	prev := d0
+	for _, temp := range []float64{0.1, 0.3, 0.6, 0.9, 1.1} {
+		g := Gap(d0, tc, temp)
+		if g > prev {
+			t.Fatalf("gap not monotone at T=%g", temp)
+		}
+		prev = g
+	}
+	// At T = Tc/2 the gap is still close to Delta0 (BCS flatness):
+	// tanh(1.74) = 0.9402.
+	if g := Gap(d0, tc, tc/2); math.Abs(g/d0-0.9402) > 0.01 {
+		t.Fatalf("Gap(Tc/2)/Delta0 = %g, want ~0.94", g/d0)
+	}
+}
+
+func TestGapAgainstSelfConsistentBCS(t *testing.T) {
+	// The weak-coupling BCS gap equation in its cutoff-free form is
+	//   ln(Delta0/Delta) = 2 * Int_0^inf f(sqrt(xi^2+Delta^2)) /
+	//                       sqrt(xi^2+Delta^2) dxi
+	// with f the Fermi function. Solve it numerically (Brent over the
+	// quadrature) for a BCS-consistent pair Delta0 = 1.764 kB Tc and
+	// check the tanh interpolation used by Gap against it.
+	const tc = 1.2
+	d0 := 1.764 * units.KB * tc
+	exact := func(temp float64) float64 {
+		kT := units.KB * temp
+		resid := func(d float64) float64 {
+			integrand := func(xi float64) float64 {
+				e := math.Hypot(xi, d)
+				return numeric.Fermi(e, kT) / e
+			}
+			// The Fermi factor kills the integrand beyond ~40 kT.
+			hi := 40*kT + 10*d
+			return math.Log(d0/d) - 2*numeric.Integrate(integrand, 0, hi, 1e-12)
+		}
+		// Bracket: resid(d0) <= 0 (gap cannot exceed Delta0),
+		// resid(tiny) > 0 below Tc.
+		return numeric.Brent(resid, 1e-6*d0, d0, 1e-9*d0)
+	}
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 0.95} {
+		temp := frac * tc
+		want := exact(temp)
+		got := Gap(d0, tc, temp)
+		if math.Abs(got-want)/d0 > 0.03 {
+			t.Fatalf("T/Tc=%.2f: interpolated gap %.4g vs self-consistent %.4g (>3%% of Delta0 off)",
+				frac, got, want)
+		}
+	}
+}
+
+func TestReducedDOS(t *testing.T) {
+	d := 1.0
+	if ReducedDOS(0.5, d) != 0 || ReducedDOS(-0.99, d) != 0 {
+		t.Fatal("DOS inside gap must vanish")
+	}
+	if ReducedDOS(1.0, d) != 0 {
+		t.Fatal("DOS exactly at the edge is treated as gapped (integrable singularity)")
+	}
+	// Just above the edge it diverges; far above it approaches 1.
+	if ReducedDOS(1.0001, d) < 50 {
+		t.Fatalf("DOS near edge too small: %g", ReducedDOS(1.0001, d))
+	}
+	if math.Abs(ReducedDOS(100, d)-1) > 1e-4 {
+		t.Fatalf("DOS far from gap: %g, want ~1", ReducedDOS(100, d))
+	}
+	// Symmetric in E.
+	if ReducedDOS(-3, d) != ReducedDOS(3, d) {
+		t.Fatal("DOS must be even in E")
+	}
+}
+
+const (
+	testR = 210e3 // paper Fig. 5 junction resistance
+	testT = 0.05  // 50 mK: cold enough that thermal tails are tiny
+	testD = 3.2e-23
+)
+
+func TestIqpOddAndZero(t *testing.T) {
+	if Iqp(0, testR, testD, testD, testT) != 0 {
+		t.Fatal("Iqp(0) must be zero")
+	}
+	v := 1.5 * 2 * testD / units.E
+	ip := Iqp(v, testR, testD, testD, testT)
+	im := Iqp(-v, testR, testD, testD, testT)
+	if math.Abs(ip+im)/math.Abs(ip) > 1e-6 {
+		t.Fatalf("Iqp not odd: %g vs %g", ip, im)
+	}
+}
+
+func TestIqpGapOnsetStep(t *testing.T) {
+	// At T ~ 0 and equal gaps the current is ~0 below 2*Delta/e and
+	// jumps to pi*Delta/(2 e R) just above (Tinkham).
+	d := testD
+	vGap := 2 * d / units.E
+	below := Iqp(0.9*vGap, testR, d, d, testT)
+	above := Iqp(1.02*vGap, testR, d, d, testT)
+	scale := d / (units.E * testR)
+	if math.Abs(below) > 0.01*scale {
+		t.Fatalf("sub-gap current too large at 50 mK: %g (scale %g)", below, scale)
+	}
+	step := above / scale
+	if step < 1.3 || step > 1.9 {
+		t.Fatalf("gap-edge step = %g * Delta/(eR), want ~pi/2 = 1.57", step)
+	}
+}
+
+func TestIqpOhmicAsymptote(t *testing.T) {
+	d := testD
+	v := 40 * d / units.E
+	got := Iqp(v, testR, d, d, testT)
+	ohm := v / testR
+	if math.Abs(got-ohm)/ohm > 0.05 {
+		t.Fatalf("far above gap: I=%g, ohmic %g (should agree to 5%%)", got, ohm)
+	}
+}
+
+func TestIqpNormalLimit(t *testing.T) {
+	// Zero gaps must reduce to the ohmic junction at any T.
+	v := 0.0005
+	got := Iqp(v, testR, 0, 0, 4.2)
+	want := v / testR
+	if math.Abs(got-want)/want > 1e-4 {
+		t.Fatalf("normal limit: got %g want %g", got, want)
+	}
+}
+
+func TestIqpSingularityMatchingPeak(t *testing.T) {
+	// With unequal gaps at finite T, thermally excited quasi-particles
+	// produce a current peak at V = |d1-d2|/e that *decreases* with V
+	// beyond it (negative differential conductance) — the signature
+	// singularity-matching feature.
+	d1 := testD
+	d2 := 0.6 * testD
+	temp := 0.35 // K: enough thermal excitation
+	vMatch := (d1 - d2) / units.E
+	iAt := Iqp(vMatch, testR, d1, d2, temp)
+	iPast := Iqp(vMatch*1.6, testR, d1, d2, temp)
+	if iAt <= 0 {
+		t.Fatalf("no thermal current at matching point: %g", iAt)
+	}
+	if iPast >= iAt {
+		t.Fatalf("no NDR past matching point: I(%g)=%g, I(%g)=%g",
+			vMatch, iAt, 1.6*vMatch, iPast)
+	}
+}
+
+func TestJosephsonEnergy(t *testing.T) {
+	d := units.MeV(0.21)
+	ej0 := JosephsonEnergy(210e3, d, 0)
+	want := units.RQ / 210e3 * d / 2
+	if math.Abs(ej0-want)/want > 1e-12 {
+		t.Fatalf("EJ(T=0): got %g want %g", ej0, want)
+	}
+	// EJ decreases with temperature and vanishes with the gap.
+	if JosephsonEnergy(210e3, d, 0.5) >= ej0 {
+		t.Fatal("EJ must decrease with T")
+	}
+	if JosephsonEnergy(210e3, 0, 0.5) != 0 {
+		t.Fatal("EJ without gap must vanish")
+	}
+	// Regime check for the paper's Fig. 5 device: EJ << Ec.
+	ec := units.ChargingEnergy(234 * units.Atto)
+	if ej0 > ec/3 {
+		t.Fatalf("paper device not in EJ << Ec regime: EJ=%g Ec=%g", ej0, ec)
+	}
+}
+
+func TestCooperPairRateLorentzian(t *testing.T) {
+	ej := units.MeV(0.003)
+	gamma := 1e9
+	peak := CooperPairRate(0, ej, gamma)
+	want := 2 * ej * ej / (units.Hbar * units.Hbar * gamma)
+	if math.Abs(peak-want)/want > 1e-12 {
+		t.Fatalf("on-resonance rate: got %g want %g", peak, want)
+	}
+	// Half maximum at dw = hbar*gamma/2.
+	half := CooperPairRate(units.Hbar*gamma/2, ej, gamma)
+	if math.Abs(half-peak/2)/peak > 1e-12 {
+		t.Fatalf("half-width wrong: %g vs %g", half, peak/2)
+	}
+	// Symmetric.
+	if CooperPairRate(1e-25, ej, gamma) != CooperPairRate(-1e-25, ej, gamma) {
+		t.Fatal("CP rate must be even in dw")
+	}
+	if CooperPairRate(0, 0, gamma) != 0 || CooperPairRate(0, ej, 0) != 0 {
+		t.Fatal("degenerate parameters must give zero rate")
+	}
+}
+
+func TestQPTableMatchesDirectIntegral(t *testing.T) {
+	d := testD
+	tab, err := NewQPTable(testR, d, d, 0.3, 6*d/units.E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.3, 0.8, 0.95, 1.05, 1.5, 2.5} {
+		v := frac * 2 * d / units.E
+		want := Iqp(v, testR, d, d, 0.3)
+		got := tab.Current(v)
+		scale := d / (units.E * testR)
+		if math.Abs(got-want) > 0.02*scale+0.01*math.Abs(want) {
+			t.Fatalf("table at V=%.3g*2D/e: got %g want %g", frac, got, want)
+		}
+	}
+}
+
+func TestQPTableRateDetailedBalance(t *testing.T) {
+	d := testD
+	temp := 0.3
+	tab, err := NewQPTable(testR, d, d, temp, 8*d/units.E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kT := units.KB * temp
+	for _, x := range []float64{0.5, 2, 5} {
+		dw := x * kT
+		fw := tab.Rate(-dw)
+		bw := tab.Rate(dw)
+		if fw <= 0 || bw <= 0 {
+			t.Fatalf("rates should be positive at finite T: %g %g", fw, bw)
+		}
+		ratio := bw / fw
+		want := math.Exp(-x)
+		if math.Abs(ratio-want)/want > 0.02 {
+			t.Fatalf("detailed balance x=%g: ratio %g want %g", x, ratio, want)
+		}
+	}
+}
+
+func TestQPTableRateAboveGap(t *testing.T) {
+	// For |dW| well above 2*Delta the rate approaches the normal-state
+	// orthodox rate |dW|/(e^2 R).
+	d := testD
+	tab, err := NewQPTable(testR, d, d, 0.1, 80*d/units.E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := -50 * d
+	got := tab.Rate(dw)
+	want := -dw / (units.E * units.E * testR)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("high-energy QP rate: got %g want %g", got, want)
+	}
+}
+
+func TestQPTableSubGapSuppression(t *testing.T) {
+	d := testD
+	tab, err := NewQPTable(testR, d, d, 0.05, 8*d/units.E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := tab.Rate(-d)       // |dW| = Delta: deep sub-gap
+	above := tab.Rate(-3 * d) // above 2*Delta
+	if sub > 1e-6*above {
+		t.Fatalf("sub-gap QP rate not suppressed: %g vs %g above gap", sub, above)
+	}
+}
+
+func TestQPTableRejectsZeroTemperature(t *testing.T) {
+	if _, err := NewQPTable(testR, testD, testD, 0, 1); err == nil {
+		t.Fatal("QPTable must reject T = 0")
+	}
+	if _, err := NewQPTable(-1, testD, testD, 0.1, 1); err == nil {
+		t.Fatal("QPTable must reject R <= 0")
+	}
+}
+
+func BenchmarkIqpDirect(b *testing.B) {
+	d := testD
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Iqp(2.5*d/units.E, testR, d, d, 0.3)
+	}
+}
+
+func BenchmarkQPTableRate(b *testing.B) {
+	d := testD
+	tab, err := NewQPTable(testR, d, d, 0.3, 8*d/units.E)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Rate(-2.2 * d * float64(i%5+1) / 3)
+	}
+}

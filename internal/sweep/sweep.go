@@ -1,0 +1,171 @@
+// Package sweep drives families of Monte Carlo runs across bias or
+// gate voltages: the I-V curves of Fig. 1 and the two-dimensional
+// stability map of Fig. 5. Sweep points are independent simulations and
+// run in parallel across CPUs, each with a deterministic per-point
+// seed.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"semsim/internal/circuit"
+	"semsim/internal/solver"
+)
+
+// Point is one sweep sample.
+type Point struct {
+	X float64 // swept variable (volts)
+	I float64 // measured current (amperes)
+	// Blockaded marks points where no event was ever possible (hard
+	// Coulomb blockade): the current is exactly zero.
+	Blockaded bool
+}
+
+// BuildFunc constructs a fresh circuit for a sweep value and returns it
+// together with the junction whose current is measured.
+type BuildFunc func(v float64) (*circuit.Circuit, int, error)
+
+// Config tunes the per-point Monte Carlo runs.
+type Config struct {
+	Options    solver.Options
+	WarmEvents uint64  // discarded before measuring
+	Events     uint64  // measured events per point
+	MaxTime    float64 // simulated-time cap per point (0 = none)
+	Parallel   int     // worker goroutines; 0 = GOMAXPROCS
+}
+
+// IV runs one simulation per value in xs and returns the points in
+// order. Each point gets seed Options.Seed + index so results are
+// reproducible regardless of scheduling.
+func IV(build BuildFunc, xs []float64, cfg Config) ([]Point, error) {
+	pts := make([]Point, len(xs))
+	errs := make([]error, len(xs))
+	par := cfg.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				pts[i], errs[i] = runPoint(build, xs[i], i, cfg)
+			}
+		}()
+	}
+	for i := range xs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pts, nil
+}
+
+func runPoint(build BuildFunc, x float64, idx int, cfg Config) (Point, error) {
+	c, junc, err := build(x)
+	if err != nil {
+		return Point{}, err
+	}
+	opt := cfg.Options
+	opt.Seed += uint64(idx)
+	s, err := solver.New(c, opt)
+	if err != nil {
+		return Point{}, err
+	}
+	if _, err := s.Run(cfg.WarmEvents, cfg.MaxTime/5); err != nil {
+		if err == solver.ErrBlockaded {
+			return Point{X: x, I: 0, Blockaded: true}, nil
+		}
+		return Point{}, err
+	}
+	s.ResetMeasurement()
+	if _, err := s.Run(cfg.Events, cfg.MaxTime); err != nil {
+		if err == solver.ErrBlockaded {
+			return Point{X: x, I: 0, Blockaded: true}, nil
+		}
+		return Point{}, err
+	}
+	return Point{X: x, I: s.JunctionCurrent(junc)}, nil
+}
+
+// Conductance differentiates an I-V curve numerically (central
+// differences, one-sided at the ends), producing the dI/dV trace whose
+// 2-D version is the Coulomb-diamond stability diagram of SET device
+// research. The input points must be sorted in X.
+func Conductance(pts []Point) []Point {
+	out := make([]Point, len(pts))
+	for i := range pts {
+		lo, hi := i-1, i+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(pts) {
+			hi = len(pts) - 1
+		}
+		dv := pts[hi].X - pts[lo].X
+		g := 0.0
+		if dv != 0 {
+			g = (pts[hi].I - pts[lo].I) / dv
+		}
+		out[i] = Point{X: pts[i].X, I: g}
+	}
+	return out
+}
+
+// Build2DFunc constructs a circuit for a (x, y) grid point.
+type Build2DFunc func(x, y float64) (*circuit.Circuit, int, error)
+
+// Map2D computes the current on a ys-by-xs grid (row-major: result[iy][ix]),
+// the shape of the paper's Fig. 5 contour data.
+func Map2D(build Build2DFunc, xs, ys []float64, cfg Config) ([][]float64, error) {
+	grid := make([][]float64, len(ys))
+	for iy := range grid {
+		grid[iy] = make([]float64, len(xs))
+	}
+	type job struct{ ix, iy int }
+	jobs := make(chan job)
+	errs := make([]error, len(xs)*len(ys))
+	par := cfg.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				idx := j.iy*len(xs) + j.ix
+				pt, err := runPoint(func(v float64) (*circuit.Circuit, int, error) {
+					return build(xs[j.ix], ys[j.iy])
+				}, xs[j.ix], idx, cfg)
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				grid[j.iy][j.ix] = pt.I
+			}
+		}()
+	}
+	for iy := range ys {
+		for ix := range xs {
+			jobs <- job{ix: ix, iy: iy}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return grid, nil
+}

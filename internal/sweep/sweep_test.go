@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"semsim/internal/circuit"
+	"semsim/internal/numeric"
+	"semsim/internal/solver"
+	"semsim/internal/units"
+)
+
+const aF = units.Atto
+
+func buildSET(vds float64) (*circuit.Circuit, int, error) {
+	c, nd := circuit.NewSET(circuit.SETConfig{
+		R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+		Vs: vds / 2, Vd: -vds / 2,
+	})
+	return c, nd.JuncDrain, nil
+}
+
+func TestIVShape(t *testing.T) {
+	xs := numeric.Linspace(-0.04, 0.04, 9)
+	pts, err := IV(buildSET, xs, Config{
+		Options:    solver.Options{Temp: 5, Seed: 100},
+		WarmEvents: 2000,
+		Events:     15000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Antisymmetric-ish, monotone-ish, blockaded in the middle.
+	mid := pts[4]
+	if math.Abs(mid.X) > 1e-12 {
+		t.Fatalf("midpoint X = %g", mid.X)
+	}
+	if math.Abs(mid.I) > 0.1*math.Abs(pts[8].I) {
+		t.Fatalf("blockade center current %g vs edge %g", mid.I, pts[8].I)
+	}
+	if pts[8].I <= 0 || pts[0].I >= 0 {
+		t.Fatalf("edge currents have wrong sign: %g, %g", pts[0].I, pts[8].I)
+	}
+	if math.Abs(pts[0].I+pts[8].I) > 0.15*math.Abs(pts[8].I) {
+		t.Fatalf("I-V not antisymmetric: %g vs %g", pts[0].I, pts[8].I)
+	}
+}
+
+func TestIVDeterministicUnderParallelism(t *testing.T) {
+	xs := numeric.Linspace(-0.04, 0.04, 7)
+	cfg := Config{Options: solver.Options{Temp: 5, Seed: 7}, WarmEvents: 500, Events: 3000}
+	cfg.Parallel = 1
+	a, err := IV(buildSET, xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 8
+	b, err := IV(buildSET, xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs across parallelism: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestIVBlockadedPoints(t *testing.T) {
+	xs := []float64{0.0, 0.01}
+	pts, err := IV(buildSET, xs, Config{
+		Options: solver.Options{Temp: 0, Seed: 3}, // T=0: hard blockade
+		Events:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !p.Blockaded || p.I != 0 {
+			t.Fatalf("T=0 sub-threshold point not flagged blockaded: %+v", p)
+		}
+	}
+}
+
+func TestIVPropagatesBuildErrors(t *testing.T) {
+	wantErr := errors.New("boom")
+	_, err := IV(func(float64) (*circuit.Circuit, int, error) {
+		return nil, 0, wantErr
+	}, []float64{0, 1}, Config{Options: solver.Options{Temp: 1}, Events: 10})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("build error lost: %v", err)
+	}
+}
+
+func TestConductance(t *testing.T) {
+	// Differentiate a synthetic quadratic I = V^2: dI/dV = 2V exactly for
+	// central differences on a uniform grid.
+	var pts []Point
+	for _, v := range numeric.Linspace(-1, 1, 21) {
+		pts = append(pts, Point{X: v, I: v * v})
+	}
+	g := Conductance(pts)
+	if len(g) != len(pts) {
+		t.Fatalf("length %d", len(g))
+	}
+	for i := 1; i < len(g)-1; i++ {
+		want := 2 * pts[i].X
+		if math.Abs(g[i].I-want) > 1e-12 {
+			t.Fatalf("dI/dV at %g: got %g want %g", pts[i].X, g[i].I, want)
+		}
+	}
+	// One-sided ends still finite and ordered.
+	if math.IsNaN(g[0].I) || math.IsNaN(g[len(g)-1].I) {
+		t.Fatal("NaN at the ends")
+	}
+}
+
+func TestConductancePeaksAtBlockadeEdge(t *testing.T) {
+	// Physical check: dI/dV of a cold SET peaks near the threshold
+	// e/Csum = 32 mV, not at zero bias.
+	xs := numeric.Linspace(0, 0.06, 25)
+	pts, err := IV(buildSET, xs, Config{
+		Options:    solver.Options{Temp: 2, Seed: 21},
+		WarmEvents: 1000,
+		Events:     12000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Conductance(pts)
+	best := 0
+	for i := range g {
+		if g[i].I > g[best].I {
+			best = i
+		}
+	}
+	if g[best].X < 0.025 || g[best].X > 0.045 {
+		t.Fatalf("conductance peak at %g V, want near the 32 mV threshold", g[best].X)
+	}
+}
+
+func TestMap2DShapeAndSymmetry(t *testing.T) {
+	xs := numeric.Linspace(-0.04, 0.04, 5)
+	ys := []float64{0.0, 0.0267} // Vg = 0 and half-period: e/(2*3aF)
+	grid, err := Map2D(func(x, y float64) (*circuit.Circuit, int, error) {
+		c, nd := circuit.NewSET(circuit.SETConfig{
+			R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+			Vs: x / 2, Vd: -x / 2, Vg: y,
+		})
+		return c, nd.JuncDrain, nil
+	}, xs, ys, Config{
+		Options:    solver.Options{Temp: 5, Seed: 11},
+		WarmEvents: 1000,
+		Events:     8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 2 || len(grid[0]) != 5 {
+		t.Fatalf("grid shape %dx%d", len(grid), len(grid[0]))
+	}
+	// At the degeneracy gate voltage the small-bias current is larger
+	// than at Vg=0 (blockade lifted).
+	if math.Abs(grid[1][3]) <= math.Abs(grid[0][3]) {
+		t.Fatalf("degeneracy row should conduct more at small bias: %g vs %g",
+			grid[1][3], grid[0][3])
+	}
+}

@@ -1,0 +1,93 @@
+// Package trace post-processes simulation waveforms: smoothing away
+// single-electron granularity and extracting the propagation delays
+// that Fig. 7 of the paper compares across solvers.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"semsim/internal/solver"
+)
+
+// Smooth returns a causal moving-average of the waveform with the given
+// time window, sampled at the original points. Single-electron steps of
+// e/CL on logic wires otherwise alias into spurious threshold
+// crossings.
+func Smooth(w []solver.Sample, window float64) []solver.Sample {
+	if window <= 0 || len(w) == 0 {
+		return w
+	}
+	out := make([]solver.Sample, len(w))
+	// Time-weighted average over [t_i - window, t_i] with sample-and-hold
+	// semantics: sample k holds its value on [t_k, t_{k+1}).
+	for i := range w {
+		t0 := w[i].T - window
+		acc, dur := 0.0, 0.0
+		for k := i - 1; k >= 0; k-- {
+			segStart, segEnd := w[k].T, w[k+1].T
+			if segStart < t0 {
+				segStart = t0
+			}
+			if segEnd > segStart {
+				acc += w[k].V * (segEnd - segStart)
+				dur += segEnd - segStart
+			}
+			if w[k].T <= t0 {
+				break
+			}
+		}
+		if dur > 0 {
+			out[i] = solver.Sample{T: w[i].T, V: acc / dur}
+		} else {
+			out[i] = w[i]
+		}
+	}
+	return out
+}
+
+// CrossingTime returns the first time after 'after' at which the
+// waveform crosses the threshold in the given direction, linearly
+// interpolated between samples. ok is false if no crossing exists.
+func CrossingTime(w []solver.Sample, threshold float64, rising bool, after float64) (t float64, ok bool) {
+	for i := 1; i < len(w); i++ {
+		if w[i].T <= after {
+			continue
+		}
+		a, b := w[i-1], w[i]
+		var crossed bool
+		if rising {
+			crossed = a.V < threshold && b.V >= threshold
+		} else {
+			crossed = a.V > threshold && b.V <= threshold
+		}
+		if !crossed {
+			continue
+		}
+		if b.V == a.V {
+			return b.T, true
+		}
+		f := (threshold - a.V) / (b.V - a.V)
+		return a.T + f*(b.T-a.T), true
+	}
+	return 0, false
+}
+
+// ErrNoCrossing indicates the output never crossed the threshold.
+var ErrNoCrossing = errors.New("trace: waveform never crossed the threshold")
+
+// PropagationDelay measures the 50%-swing delay from an input step at
+// stepTime to the output's threshold crossing. The waveform is smoothed
+// over smoothWindow first (0 disables smoothing); rising selects the
+// output transition direction.
+func PropagationDelay(w []solver.Sample, stepTime, threshold, smoothWindow float64, rising bool) (float64, error) {
+	if len(w) < 2 {
+		return 0, fmt.Errorf("trace: waveform has %d samples", len(w))
+	}
+	sm := Smooth(w, smoothWindow)
+	t, ok := CrossingTime(sm, threshold, rising, stepTime)
+	if !ok {
+		return 0, ErrNoCrossing
+	}
+	return t - stepTime, nil
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/solver"
+)
+
+func ramp(t0, t1, v0, v1 float64, n int) []solver.Sample {
+	w := make([]solver.Sample, n)
+	for i := range w {
+		f := float64(i) / float64(n-1)
+		w[i] = solver.Sample{T: t0 + f*(t1-t0), V: v0 + f*(v1-v0)}
+	}
+	return w
+}
+
+func TestCrossingTimeRising(t *testing.T) {
+	w := ramp(0, 1, 0, 1, 101)
+	tc, ok := CrossingTime(w, 0.5, true, 0)
+	if !ok {
+		t.Fatal("no crossing found")
+	}
+	if math.Abs(tc-0.5) > 1e-9 {
+		t.Fatalf("crossing at %g, want 0.5", tc)
+	}
+}
+
+func TestCrossingTimeFalling(t *testing.T) {
+	w := ramp(0, 2, 1, 0, 101)
+	tc, ok := CrossingTime(w, 0.25, false, 0)
+	if !ok {
+		t.Fatal("no crossing found")
+	}
+	if math.Abs(tc-1.5) > 1e-9 {
+		t.Fatalf("crossing at %g, want 1.5", tc)
+	}
+}
+
+func TestCrossingAfter(t *testing.T) {
+	// Two rising crossings; 'after' must skip the first.
+	w := []solver.Sample{
+		{T: 0, V: 0}, {T: 1, V: 1}, {T: 2, V: 0}, {T: 3, V: 1},
+	}
+	tc, ok := CrossingTime(w, 0.5, true, 1.5)
+	if !ok || math.Abs(tc-2.5) > 1e-9 {
+		t.Fatalf("crossing after 1.5: got %g ok=%v, want 2.5", tc, ok)
+	}
+}
+
+func TestCrossingDirectionality(t *testing.T) {
+	w := ramp(0, 1, 0, 1, 11)
+	if _, ok := CrossingTime(w, 0.5, false, 0); ok {
+		t.Fatal("found falling crossing in rising ramp")
+	}
+}
+
+func TestNoCrossing(t *testing.T) {
+	w := ramp(0, 1, 0, 0.4, 11)
+	if _, ok := CrossingTime(w, 0.5, true, 0); ok {
+		t.Fatal("found crossing below threshold")
+	}
+	if _, err := PropagationDelay(w, 0, 0.5, 0, true); err != ErrNoCrossing {
+		t.Fatalf("want ErrNoCrossing, got %v", err)
+	}
+}
+
+func TestSmoothConstant(t *testing.T) {
+	w := make([]solver.Sample, 50)
+	for i := range w {
+		w[i] = solver.Sample{T: float64(i), V: 3}
+	}
+	sm := Smooth(w, 10)
+	for i, s := range sm {
+		if math.Abs(s.V-3) > 1e-12 {
+			t.Fatalf("smoothing changed constant at %d: %g", i, s.V)
+		}
+	}
+}
+
+func TestSmoothKillsAlternation(t *testing.T) {
+	// A 0/1 square alternation (single-electron shuttle noise) should
+	// average to ~0.5.
+	w := make([]solver.Sample, 200)
+	for i := range w {
+		w[i] = solver.Sample{T: float64(i), V: float64(i % 2)}
+	}
+	sm := Smooth(w, 20)
+	v := sm[150].V
+	if math.Abs(v-0.5) > 0.05 {
+		t.Fatalf("alternation smoothed to %g, want ~0.5", v)
+	}
+}
+
+func TestSmoothZeroWindowIdentity(t *testing.T) {
+	w := ramp(0, 1, 0, 1, 5)
+	sm := Smooth(w, 0)
+	for i := range w {
+		if sm[i] != w[i] {
+			t.Fatal("zero window must be identity")
+		}
+	}
+}
+
+func TestSmoothPreservesTimes(t *testing.T) {
+	w := ramp(0, 1, 0, 1, 17)
+	sm := Smooth(w, 0.3)
+	for i := range w {
+		if sm[i].T != w[i].T {
+			t.Fatal("smoothing must not move timestamps")
+		}
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	// Step at t=1, output ramps from t=2 to t=4 crossing 0.5 at t=3:
+	// delay = 2.
+	var w []solver.Sample
+	w = append(w, solver.Sample{T: 0, V: 0}, solver.Sample{T: 2, V: 0})
+	w = append(w, ramp(2, 4, 0, 1, 50)...)
+	d, err := PropagationDelay(w, 1, 0.5, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2) > 0.05 {
+		t.Fatalf("delay %g, want 2", d)
+	}
+}
+
+func TestPropagationDelayTooShort(t *testing.T) {
+	if _, err := PropagationDelay([]solver.Sample{{T: 0, V: 0}}, 0, 0.5, 0, true); err == nil {
+		t.Fatal("single-sample waveform accepted")
+	}
+}

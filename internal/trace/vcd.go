@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"semsim/internal/solver"
+)
+
+// VCDSignal is one waveform to export: the analog node voltage plus a
+// thresholded logic view.
+type VCDSignal struct {
+	Name      string
+	Threshold float64 // logic threshold for the 1-bit view
+	Samples   []solver.Sample
+}
+
+// WriteVCD emits the signals as a Value Change Dump (IEEE 1364) with a
+// 1 ps timescale, so Monte Carlo waveforms open in ordinary digital
+// waveform viewers. Each signal appears twice: `<name>_mV` as a real
+// (the analog trace) and `<name>` as a wire (the thresholded logic
+// value). Samples need not be aligned across signals.
+func WriteVCD(w io.Writer, module string, signals []VCDSignal) error {
+	if module == "" {
+		module = "semsim"
+	}
+	if len(signals) > 46 {
+		return fmt.Errorf("trace: too many VCD signals (%d), max 46", len(signals))
+	}
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	ident := func(i int, analog bool) byte {
+		if analog {
+			return byte('!' + i)
+		}
+		return byte('O' + i) // second bank of identifiers
+	}
+
+	p("$timescale 1ps $end\n$scope module %s $end\n", module)
+	for i, s := range signals {
+		p("$var real 64 %c %s_mV $end\n", ident(i, true), s.Name)
+		p("$var wire 1 %c %s $end\n", ident(i, false), s.Name)
+	}
+	p("$upscope $end\n$enddefinitions $end\n")
+
+	// Merge all samples into a single time-ordered change list.
+	type change struct {
+		t   int64
+		sig int
+		v   float64
+	}
+	var all []change
+	for i, s := range signals {
+		for _, sm := range s.Samples {
+			all = append(all, change{t: int64(sm.T * 1e12), sig: i, v: sm.V})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].t != all[b].t {
+			return all[a].t < all[b].t
+		}
+		return all[a].sig < all[b].sig
+	})
+
+	lastBit := make([]byte, len(signals))
+	for i := range lastBit {
+		lastBit[i] = 'x'
+	}
+	lastT := int64(-1)
+	for _, ch := range all {
+		if ch.t != lastT {
+			p("#%d\n", ch.t)
+			lastT = ch.t
+		}
+		p("r%g %c\n", ch.v*1e3, ident(ch.sig, true))
+		bit := byte('0')
+		if ch.v > signals[ch.sig].Threshold {
+			bit = '1'
+		}
+		if bit != lastBit[ch.sig] {
+			p("%c%c\n", bit, ident(ch.sig, false))
+			lastBit[ch.sig] = bit
+		}
+	}
+	return err
+}

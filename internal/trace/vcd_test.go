@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semsim/internal/solver"
+)
+
+func TestWriteVCD(t *testing.T) {
+	sig := VCDSignal{
+		Name:      "out",
+		Threshold: 0.5,
+		Samples: []solver.Sample{
+			{T: 0, V: 0},
+			{T: 1e-9, V: 0.2},
+			{T: 2e-9, V: 0.8},
+			{T: 3e-9, V: 0.1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, "tb", []VCDSignal{sig}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$scope module tb $end",
+		"$var real 64 ! out_mV $end",
+		"$var wire 1 O out $end",
+		"$enddefinitions $end",
+		"#0\n",
+		"#1000\n",
+		"#2000\n",
+		"#3000\n",
+		"1O", // rises above threshold at 2 ns
+		"0O", // initial low and the fall at 3 ns
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The logic wire must change exactly three times: x->0, 0->1, 1->0.
+	if n := strings.Count(out, "O\n"); n != 3 {
+		t.Fatalf("logic value changed %d times, want 3:\n%s", n, out)
+	}
+}
+
+func TestWriteVCDMultiSignalOrdering(t *testing.T) {
+	a := VCDSignal{Name: "a", Threshold: 0.5, Samples: []solver.Sample{{T: 2e-12, V: 1}}}
+	b := VCDSignal{Name: "b", Threshold: 0.5, Samples: []solver.Sample{{T: 1e-12, V: 1}}}
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, "", []VCDSignal{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Index(out, "#1\n") > strings.Index(out, "#2\n") {
+		t.Fatalf("timestamps out of order:\n%s", out)
+	}
+}
+
+func TestWriteVCDTooManySignals(t *testing.T) {
+	sigs := make([]VCDSignal, 47)
+	for i := range sigs {
+		sigs[i] = VCDSignal{Name: "s", Samples: []solver.Sample{{T: 0, V: 0}}}
+	}
+	if err := WriteVCD(&bytes.Buffer{}, "", sigs); err == nil {
+		t.Fatal("accepted too many signals")
+	}
+}

@@ -1,0 +1,80 @@
+// Package units collects the physical constants and unit helpers used
+// throughout the simulator. All internal quantities are SI: volts,
+// amperes, farads, ohms, joules, kelvins, seconds.
+package units
+
+import "math"
+
+// Fundamental constants (CODATA values; exactness is irrelevant at the
+// precision of orthodox-theory device simulation).
+const (
+	// E is the elementary charge in coulombs.
+	E = 1.602176634e-19
+	// KB is Boltzmann's constant in joules per kelvin.
+	KB = 1.380649e-23
+	// H is Planck's constant in joule-seconds.
+	H = 6.62607015e-34
+	// Hbar is the reduced Planck constant in joule-seconds.
+	Hbar = H / (2 * math.Pi)
+	// RQ is the superconducting resistance quantum h/(4e^2) in ohms,
+	// approximately 6.45 kOhm. It sets the high-resistance regime
+	// (RN >> RQ) in which incoherent Cooper-pair tunneling is valid.
+	RQ = H / (4 * E * E)
+	// RK is the von Klitzing constant h/e^2 in ohms (~25.8 kOhm), the
+	// resistance scale above which charge quantization on an island is
+	// well defined.
+	RK = H / (E * E)
+)
+
+// Convenience multipliers for the unit prefixes that dominate
+// single-electronics work.
+const (
+	Atto  = 1e-18
+	Femto = 1e-15
+	Pico  = 1e-12
+	Nano  = 1e-9
+	Micro = 1e-6
+	Milli = 1e-3
+	Kilo  = 1e3
+	Mega  = 1e6
+	Giga  = 1e9
+)
+
+// AF converts a value in attofarads to farads.
+func AF(c float64) float64 { return c * Atto }
+
+// FF converts a value in femtofarads to farads.
+func FF(c float64) float64 { return c * Femto }
+
+// MilliKelvin converts a value in millikelvin to kelvin.
+func MilliKelvin(t float64) float64 { return t * Milli }
+
+// MilliVolt converts a value in millivolts to volts.
+func MilliVolt(v float64) float64 { return v * Milli }
+
+// MicroVolt converts a value in microvolts to volts.
+func MicroVolt(v float64) float64 { return v * Micro }
+
+// MegaOhm converts a value in megaohms to ohms.
+func MegaOhm(r float64) float64 { return r * Mega }
+
+// KiloOhm converts a value in kiloohms to ohms.
+func KiloOhm(r float64) float64 { return r * Kilo }
+
+// MeV converts an energy in milli-electron-volts to joules.
+// (Milli-eV, not mega-eV: superconducting gaps are fractions of a meV.)
+func MeV(e float64) float64 { return e * Milli * E }
+
+// ToMeV converts an energy in joules to milli-electron-volts.
+func ToMeV(j float64) float64 { return j / (Milli * E) }
+
+// ThermalEnergy returns k_B*T in joules for a temperature in kelvin.
+func ThermalEnergy(t float64) float64 { return KB * t }
+
+// ChargingEnergy returns the single-electron charging energy e^2/(2*C)
+// in joules for a total island capacitance C in farads.
+func ChargingEnergy(c float64) float64 { return E * E / (2 * c) }
+
+// GatePeriod returns the gate-voltage periodicity e/Cg of the Coulomb
+// oscillations for a gate capacitance Cg in farads.
+func GatePeriod(cg float64) float64 { return E / cg }

@@ -1,0 +1,53 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, rel float64) {
+	t.Helper()
+	if want == 0 {
+		if math.Abs(got) > rel {
+			t.Fatalf("%s: got %g want 0 (tol %g)", name, got, rel)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > rel {
+		t.Fatalf("%s: got %g want %g (rel tol %g)", name, got, want, rel)
+	}
+}
+
+func TestResistanceQuanta(t *testing.T) {
+	approx(t, "RQ", RQ, 6453.20e0*1.0, 1e-3)      // ~6.45 kOhm
+	approx(t, "RK", RK, 25812.807, 1e-6)          // von Klitzing
+	approx(t, "RK/RQ", RK/RQ, 4, 1e-12)           // h/e^2 = 4 * h/4e^2
+	approx(t, "Hbar", Hbar, H/(2*math.Pi), 1e-15) // definition
+}
+
+func TestChargingEnergy(t *testing.T) {
+	// e^2/2C for C = 1 aF is about 12.8e-21 J ~ 80 meV... check exact.
+	c := AF(1)
+	want := E * E / (2 * 1e-18)
+	approx(t, "Ec", ChargingEnergy(c), want, 1e-12)
+	// Charging energy of 2 aF total capacitance expressed in meV should
+	// be ~40 meV (e/2C * e): e^2/(2*2aF) = 6.4e-21 J = 40.09 meV.
+	approx(t, "Ec meV", ToMeV(ChargingEnergy(AF(2))), 40.09, 5e-3)
+}
+
+func TestUnitHelpers(t *testing.T) {
+	approx(t, "AF", AF(3), 3e-18, 1e-15)
+	approx(t, "FF", FF(2), 2e-15, 1e-15)
+	approx(t, "mK", MilliKelvin(50), 0.05, 1e-15)
+	approx(t, "mV", MilliVolt(20), 0.02, 1e-15)
+	approx(t, "uV", MicroVolt(7), 7e-6, 1e-15)
+	approx(t, "MOhm", MegaOhm(1), 1e6, 1e-15)
+	approx(t, "kOhm", KiloOhm(210), 2.1e5, 1e-15)
+	approx(t, "meV->J->meV", ToMeV(MeV(0.2)), 0.2, 1e-12)
+	approx(t, "kT at 1K", ThermalEnergy(1), KB, 1e-15)
+}
+
+func TestGatePeriod(t *testing.T) {
+	// e/Cg for Cg = 3 aF: 0.0534 V.
+	approx(t, "e/Cg", GatePeriod(AF(3)), E/3e-18, 1e-12)
+}
