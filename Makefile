@@ -1,19 +1,32 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench experiments quick-experiments fmt vet
+.PHONY: all build test unit race bench rate-engine experiments quick-experiments fmt vet
 
 all: build test
 
 build:
 	go build ./...
 
-test:
+# The default test flow: static checks, the full unit suite, then the
+# race detector over the packages with internal concurrency (the
+# within-run parallel rate engine and the sweep/bench fan-outs).
+test: vet unit race
+
+unit:
 	go test ./...
+
+race:
+	go test -race ./internal/solver/... ./internal/sweep/... ./internal/bench/...
 
 # One testing.B benchmark per paper figure, plus ablations and
 # per-package microbenchmarks.
 bench:
 	go test -bench=. -benchmem ./...
+
+# Machine-readable rate-engine benchmark (serial vs parallel, exact vs
+# tabulated kernels) -> results/BENCH_rate_engine.json.
+rate-engine:
+	go run ./cmd/experiments rate-engine
 
 # Regenerate every figure of the paper into ./results (see
 # EXPERIMENTS.md). The full run takes hours on one core; use

@@ -186,3 +186,42 @@ func BenchmarkFig7Delay(b *testing.B) {
 		}
 	}
 }
+
+// Rate-engine microbenchmarks: the cost of a full rate refresh on a
+// >= 1000-junction circuit (c432, 2072 junctions), serial vs sharded
+// across the worker pool. RefreshEvery=1 makes every event pay a full
+// refresh, so the measured time is dominated by exactly the path the
+// within-run parallel engine shards. The parallel variant is
+// bit-identical to the serial one (asserted by the solver's engine
+// tests); this pair only measures the wall-clock difference.
+
+func benchmarkFullRefresh(b *testing.B, parallel int) {
+	bm, ok := bench.ByName("c432")
+	if !ok {
+		b.Fatal("missing benchmark")
+	}
+	ex, err := bench.BuildWorkload(bm, logicnet.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := solver.New(ex.Circuit, Options{
+			Temp: bench.WorkloadTemp, Seed: 7, RefreshEvery: 1, Parallel: parallel,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(20, 0); err != nil && err != ErrBlockaded {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+func BenchmarkFullRefreshSerial(b *testing.B) { benchmarkFullRefresh(b, 1) }
+
+func BenchmarkFullRefreshParallel(b *testing.B) {
+	benchmarkFullRefresh(b, 0) // 0 = GOMAXPROCS workers
+}

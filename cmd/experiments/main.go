@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|all}
+//	experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|all}
 //
 // See EXPERIMENTS.md for the mapping to the paper and the measured
 // outcomes.
@@ -30,7 +30,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,6 +64,8 @@ func main() {
 		run("validate", validate)
 	case "ablation":
 		run("ablation", ablation)
+	case "rate-engine":
+		run("rate-engine", rateEngine)
 	case "all":
 		run("validate", validate)
 		run("fig1b", fig1b)

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"semsim/internal/bench"
+	"semsim/internal/logicnet"
+)
+
+// rateEngine benchmarks the within-run parallel rate engine on a large
+// circuit and writes the machine-readable results to
+// BENCH_rate_engine.json: events/sec, rate calculations and wall time
+// for serial vs parallel execution with exact vs tabulated kernels.
+func rateEngine() error {
+	name, events := "c432", uint64(20000)
+	if *quick {
+		name, events = "74LS153", uint64(2000)
+	}
+	b, ok := bench.ByName(name)
+	if !ok {
+		return fmt.Errorf("benchmark %s missing from suite", name)
+	}
+	rep, err := bench.RunRateEngine(b, logicnet.DefaultParams(), events, 11)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Runs {
+		tables := "exact"
+		if r.RateTables {
+			tables = "tables"
+		}
+		fmt.Printf("%-8s x%-2d %-6s  %8.0f events/s  %12d rate calcs  %8.3fs wall\n",
+			r.Mode, r.Workers, tables, r.EventsPerSec, r.RateCalcs, r.WallSeconds)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(*outDir, "BENCH_rate_engine.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -24,8 +24,10 @@ import (
 
 func main() {
 	out := flag.String("o", "", "write results to this file instead of stdout")
+	parallel := flag.Int("parallel", 0, "within-run rate-engine workers (0 = GOMAXPROCS, 1 = serial; bit-identical either way)")
+	rateTables := flag.Bool("rate-tables", false, "evaluate normal-state rates through error-bounded interpolation tables (<1e-6 relative error)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: semsim [-o out.dat] [input.cir]\n")
+		fmt.Fprintf(os.Stderr, "usage: semsim [-o out.dat] [-parallel n] [-rate-tables] [input.cir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,7 +52,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pts, err := semsim.RunDeck(deck)
+	pts, err := semsim.RunDeckWith(deck, semsim.DeckOverrides{
+		Parallel:   *parallel,
+		RateTables: *rateTables,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -32,11 +32,29 @@ type DeckPoint struct {
 	Events uint64
 }
 
+// DeckOverrides adjusts solver settings the deck file format cannot
+// express (engine knobs rather than physics).
+type DeckOverrides struct {
+	// Parallel is the within-run worker count of the rate engine
+	// (0 = solver default, GOMAXPROCS; 1 = serial). Bit-identical to
+	// serial at any value — purely a speed knob.
+	Parallel int
+	// RateTables routes normal-state orthodox and cotunneling rates
+	// through the shared error-bounded interpolation tables (relative
+	// error < 1e-6).
+	RateTables bool
+}
+
 // RunDeck executes a deck: for each sweep point (or once, without a
 // sweep) it compiles the circuit, runs the configured number of jumps
 // and/or simulated time for each requested run (distinct seeds), and
 // averages the recorded junction currents.
 func RunDeck(d *Deck) ([]DeckPoint, error) {
+	return RunDeckWith(d, DeckOverrides{})
+}
+
+// RunDeckWith is RunDeck with engine overrides applied to every point.
+func RunDeckWith(d *Deck, ov DeckOverrides) ([]DeckPoint, error) {
 	spec := d.Spec
 	if len(spec.RecordJuncs) == 0 {
 		return nil, fmt.Errorf("semsim: deck records no junctions (add a 'record' line)")
@@ -80,36 +98,41 @@ func RunDeck(d *Deck) ([]DeckPoint, error) {
 				Alpha:        spec.Alpha,
 				RefreshEvery: spec.RefreshEvery,
 				Seed:         spec.Seed + uint64(i)*1009 + uint64(run)*104729,
+				Parallel:     ov.Parallel,
+				RateTables:   ov.RateTables,
 			}
 			s, err := NewSim(cc.Circuit, opt)
 			if err != nil {
 				return nil, err
 			}
-			// Warm up for a fifth of the budget, then measure.
-			warm := spec.Jumps / 5
-			if _, err := s.Run(warm, spec.MaxTime/5); err != nil {
-				if err == solver.ErrBlockaded {
-					pt.Blockaded = true
-					continue
+			err = func() error {
+				defer s.Close()
+				// Warm up for a fifth of the budget, then measure.
+				warm := spec.Jumps / 5
+				if _, err := s.Run(warm, spec.MaxTime/5); err != nil {
+					return err
 				}
-				return nil, err
+				s.ResetMeasurement()
+				n, err := s.Run(spec.Jumps, spec.MaxTime)
+				if err != nil {
+					return err
+				}
+				pt.Events += n
+				for _, j := range spec.RecordJuncs {
+					cj, ok := cc.Junc[j]
+					if !ok {
+						return fmt.Errorf("semsim: deck records unknown junction %d", j)
+					}
+					pt.Current[j] += s.JunctionCurrent(cj) / float64(runs)
+				}
+				return nil
+			}()
+			if err == solver.ErrBlockaded {
+				pt.Blockaded = true
+				continue
 			}
-			s.ResetMeasurement()
-			n, err := s.Run(spec.Jumps, spec.MaxTime)
 			if err != nil {
-				if err == solver.ErrBlockaded {
-					pt.Blockaded = true
-					continue
-				}
 				return nil, err
-			}
-			pt.Events += n
-			for _, j := range spec.RecordJuncs {
-				cj, ok := cc.Junc[j]
-				if !ok {
-					return nil, fmt.Errorf("semsim: deck records unknown junction %d", j)
-				}
-				pt.Current[j] += s.JunctionCurrent(cj) / float64(runs)
 			}
 		}
 		out = append(out, pt)

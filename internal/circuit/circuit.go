@@ -551,12 +551,32 @@ func (c *Circuit) IslandPotentials(dst []float64, n []int, t float64) []float64 
 	if dst == nil {
 		dst = make([]float64, ni)
 	}
-	q := make([]float64, ni)
-	for i, id := range c.islands {
-		q[i] = c.bgCharge[id] - units.E*float64(n[i])
-	}
+	q := c.ChargeVector(nil, n)
 	vext := c.ExternalVoltages(nil, t)
-	for i := 0; i < ni; i++ {
+	c.IslandPotentialsRange(dst, q, vext, 0, ni)
+	return dst
+}
+
+// ChargeVector fills dst (island order, allocated when nil) with each
+// island's total charge q_bg - e*n.
+func (c *Circuit) ChargeVector(dst []float64, n []int) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(c.islands))
+	}
+	for i, id := range c.islands {
+		dst[i] = c.bgCharge[id] - units.E*float64(n[i])
+	}
+	return dst
+}
+
+// IslandPotentialsRange computes rows [lo, hi) of the potential solve
+// v = Cinv*q + mext*vext into dst (island order), for a precomputed
+// island charge vector q (see ChargeVector) and external voltages vext.
+// Rows are independent, so disjoint ranges can be computed concurrently
+// — the solver's parallel full refresh shards the matrix-vector product
+// this way.
+func (c *Circuit) IslandPotentialsRange(dst, q, vext []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		row := c.cinv.Row(i)
 		acc := 0.0
 		for k, qk := range q {
@@ -567,7 +587,6 @@ func (c *Circuit) IslandPotentials(dst []float64, n []int, t float64) []float64 
 		}
 		dst[i] = acc
 	}
-	return dst
 }
 
 // NodePotential returns the potential of any node given precomputed

@@ -1,0 +1,78 @@
+package cotunnel
+
+import (
+	"math"
+	"sync"
+
+	"semsim/internal/numeric"
+	"semsim/internal/units"
+)
+
+// Like the first-order orthodox rate, the finite-temperature
+// cotunneling rate factors into an exact prefactor and a dimensionless
+// kernel of x = dW/kT alone:
+//
+//	Gamma = pref * (1/E1 + 1/E2)^2 * kT^3 * h(x)
+//	h(x)  = (x^2 + 4 pi^2) * x/(exp(x) - 1)
+//
+// (the thermal bracket dW^2 + (2 pi kT)^2 equals kT^2 (x^2 + 4 pi^2)),
+// so one table serves every channel, resistance pair and temperature.
+// Outside |x| <= KernelXMax and at T <= 0 evaluation is exact.
+const (
+	// KernelXMax bounds the tabulated band of x = dW/kT.
+	KernelXMax = 60.0
+	// KernelRelTol is the grid-refinement target for the kernel's
+	// relative interpolation error.
+	KernelRelTol = 1e-7
+)
+
+// bracketKernel is h(x) above.
+func bracketKernel(x float64) float64 {
+	return (x*x + 4*math.Pi*math.Pi) * numeric.XOverExpm1(x)
+}
+
+// Kernel is the tabulated cotunneling rate kernel.
+type Kernel struct {
+	k *numeric.Kernel
+}
+
+var (
+	kernelOnce sync.Once
+	kernel     *Kernel
+)
+
+// SharedKernel returns the process-wide tabulated kernel, building it
+// on first use. It returns nil if refinement cannot reach KernelRelTol
+// — callers must then use the exact Rate.
+func SharedKernel() *Kernel {
+	kernelOnce.Do(func() {
+		k, err := numeric.NewKernel(bracketKernel, -KernelXMax, KernelXMax, KernelRelTol)
+		if err != nil || k.MaxRelError() > KernelRelTol {
+			return
+		}
+		kernel = &Kernel{k: k}
+	})
+	return kernel
+}
+
+// Rate is the tabulated counterpart of Rate: identical arguments and
+// semantics, relative error bounded by KernelRelTol inside the
+// tabulated band and exact outside it (including T <= 0 and inactive
+// channels).
+func (k *Kernel) Rate(dw, e1, e2, r1, r2, t float64) float64 {
+	if e1 <= 0 || e2 <= 0 {
+		return 0 // coexistence rule, as in Rate
+	}
+	if t <= 0 {
+		return Rate(dw, e1, e2, r1, r2, t)
+	}
+	pref := units.Hbar / (12 * math.Pi * units.E * units.E * units.E * units.E * r1 * r2)
+	den := 1/e1 + 1/e2
+	pref *= den * den
+	kT := units.KB * t
+	return pref * kT * kT * kT * k.k.Eval(dw/kT)
+}
+
+// MaxRelError reports the measured interpolation-error bound of the
+// tabulated band.
+func (k *Kernel) MaxRelError() float64 { return k.k.MaxRelError() }

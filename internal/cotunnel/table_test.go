@@ -1,0 +1,61 @@
+package cotunnel
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/rng"
+	"semsim/internal/units"
+)
+
+// TestKernelAccuracy mirrors the orthodox table test for the
+// cotunneling bracket: tabulated rates within 1e-6 of exact across
+// temperatures, spanning the tabulated band and its exact tails.
+func TestKernelAccuracy(t *testing.T) {
+	k := SharedKernel()
+	if k == nil {
+		t.Fatal("shared kernel failed to build")
+	}
+	if k.MaxRelError() > KernelRelTol {
+		t.Fatalf("kernel reports error bound %g, want <= %g", k.MaxRelError(), KernelRelTol)
+	}
+	r := rng.New(5)
+	temps := []float64{0.05, 2, 77}
+	const r1, r2 = 1e6, 2e6
+	for _, temp := range temps {
+		kT := units.KB * temp
+		ec := 100 * kT // intermediate-state energies well above kT
+		for i := 0; i < 5000; i++ {
+			x := (r.Float64()*2 - 1) * 80
+			dw := x * kT
+			e1 := ec * (0.5 + r.Float64())
+			e2 := ec * (0.5 + r.Float64())
+			exact := Rate(dw, e1, e2, r1, r2, temp)
+			got := k.Rate(dw, e1, e2, r1, r2, temp)
+			if exact == 0 {
+				if got != 0 {
+					t.Fatalf("T=%g x=%g: exact 0 but table %g", temp, x, got)
+				}
+				continue
+			}
+			if rel := math.Abs(got-exact) / math.Abs(exact); rel > 1e-6 {
+				t.Fatalf("T=%g x=%g: table %g vs exact %g, rel err %g > 1e-6", temp, x, got, exact, rel)
+			}
+		}
+	}
+}
+
+// TestKernelCoexistenceRule: channels whose intermediate state is
+// energetically forbidden must stay exactly zero through the table path.
+func TestKernelCoexistenceRule(t *testing.T) {
+	k := SharedKernel()
+	if k == nil {
+		t.Fatal("shared kernel failed to build")
+	}
+	if got := k.Rate(-1e-22, -1e-22, 1e-22, 1e6, 1e6, 2); got != 0 {
+		t.Fatalf("forbidden intermediate state must give 0, got %g", got)
+	}
+	if got := k.Rate(-1e-22, 1e-22, 0, 1e6, 1e6, 2); got != 0 {
+		t.Fatalf("zero-energy intermediate state must give 0, got %g", got)
+	}
+}

@@ -1,0 +1,115 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TabulateGrid builds a PCHIP table of f over the given grid points:
+// the grid is sorted and deduplicated with a separation floor minSep
+// (so the interpolant stays well conditioned), then f is evaluated at
+// every surviving knot. It is the shared machinery behind the physics
+// caches — the quasi-particle I-V table and the tabulated rate kernels
+// all feed their grids through here.
+func TabulateGrid(grid []float64, minSep float64, f func(float64) float64) (*Table, error) {
+	if len(grid) < 2 {
+		return nil, fmt.Errorf("numeric: TabulateGrid needs >= 2 grid points, got %d", len(grid))
+	}
+	xs := append([]float64(nil), grid...)
+	sort.Float64s(xs)
+	kept := xs[:1]
+	for _, g := range xs[1:] {
+		if g-kept[len(kept)-1] > minSep {
+			kept = append(kept, g)
+		}
+	}
+	ys := make([]float64, len(kept))
+	for i, x := range kept {
+		ys[i] = f(x)
+	}
+	return NewTable(kept, ys)
+}
+
+// Kernel is an error-bounded tabulation of a smooth scalar function:
+// inside [lo, hi] it evaluates by PCHIP interpolation, outside it falls
+// back to the exact function, so it is accurate everywhere and fast on
+// the hot band. NewKernel refines the grid until a sampled relative
+// error bound is met, so the accuracy guarantee is measured rather than
+// assumed.
+type Kernel struct {
+	f      func(float64) float64
+	tab    *Table
+	lo, hi float64
+	relErr float64
+}
+
+// NewKernel tabulates f on [lo, hi], doubling the grid density until
+// the relative error — sampled at three interior points of every panel
+// — is at most relTol, or the point budget (2^17 knots) is exhausted.
+// The achieved bound is reported by MaxRelError; callers that need a
+// hard guarantee should check it. f should be smooth and should not
+// cross zero inside [lo, hi] (relative error is ill-defined at zeros).
+func NewKernel(f func(float64) float64, lo, hi, relTol float64) (*Kernel, error) {
+	if !(hi > lo) {
+		return nil, fmt.Errorf("numeric: NewKernel needs hi > lo, got [%g, %g]", lo, hi)
+	}
+	const maxPts = 1 << 17
+	var best *Table
+	bestErr := math.Inf(1)
+	for n := 1025; ; n = 2*(n-1) + 1 {
+		tab, err := TabulateGrid(Linspace(lo, hi, n), 0, f)
+		if err != nil {
+			return nil, err
+		}
+		e := maxRelError(tab, f, lo, hi, n)
+		if e < bestErr {
+			best, bestErr = tab, e
+		}
+		if bestErr <= relTol || 2*(n-1)+1 > maxPts {
+			break
+		}
+	}
+	return &Kernel{f: f, tab: best, lo: lo, hi: hi, relErr: bestErr}, nil
+}
+
+// maxRelError samples the interpolation error of tab against f at three
+// interior points of each of the n-1 uniform panels on [lo, hi].
+func maxRelError(tab *Table, f func(float64) float64, lo, hi float64, n int) float64 {
+	h := (hi - lo) / float64(n-1)
+	worst := 0.0
+	for i := 0; i < n-1; i++ {
+		left := lo + float64(i)*h
+		for _, frac := range [3]float64{0.25, 0.5, 0.75} {
+			x := left + frac*h
+			exact := f(x)
+			got := tab.Eval(x)
+			var rel float64
+			if exact != 0 {
+				rel = math.Abs(got-exact) / math.Abs(exact)
+			} else {
+				rel = math.Abs(got)
+			}
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst
+}
+
+// Eval interpolates inside the tabulated range and evaluates f exactly
+// outside it.
+func (k *Kernel) Eval(x float64) float64 {
+	if x < k.lo || x > k.hi {
+		return k.f(x)
+	}
+	return k.tab.Eval(x)
+}
+
+// MaxRelError reports the measured relative-error bound of the
+// tabulated band (outside it, evaluation is exact).
+func (k *Kernel) MaxRelError() float64 { return k.relErr }
+
+// Range reports the tabulated interval.
+func (k *Kernel) Range() (lo, hi float64) { return k.lo, k.hi }

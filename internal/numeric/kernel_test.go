@@ -1,0 +1,64 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTabulateGridDedupes(t *testing.T) {
+	calls := 0
+	tab, err := TabulateGrid([]float64{0, 1, 1, 1 + 1e-12, 2, 0.5}, 1e-6, func(x float64) float64 {
+		calls++
+		return x * x
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0, 0.5, 1, 2 survive; the duplicate and the 1e-12 neighbour do not.
+	if calls != 4 {
+		t.Fatalf("evaluated %d knots, want 4", calls)
+	}
+	if got := tab.Eval(2); got != 4 {
+		t.Fatalf("Eval(2) = %g, want 4", got)
+	}
+}
+
+func TestNewKernelMeetsTolerance(t *testing.T) {
+	k, err := NewKernel(XOverExpm1, -60, 60, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.MaxRelError() > 1e-7 {
+		t.Fatalf("measured error bound %g > requested 1e-7", k.MaxRelError())
+	}
+	// Spot-check at points off the refinement's own sampling lattice.
+	for _, x := range []float64{-59.9, -17.3, -0.001, 0.37, 5.551, 41.07} {
+		exact := XOverExpm1(x)
+		got := k.Eval(x)
+		if rel := math.Abs(got-exact) / math.Abs(exact); rel > 1e-6 {
+			t.Fatalf("x=%g: kernel %g vs exact %g, rel %g", x, got, exact, rel)
+		}
+	}
+}
+
+func TestNewKernelExactOutsideRange(t *testing.T) {
+	k, err := NewKernel(XOverExpm1, -60, 60, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1e3, -60.0001, 60.0001, 700} {
+		if got, want := k.Eval(x), XOverExpm1(x); got != want {
+			t.Fatalf("x=%g outside band: Eval %g != exact %g", x, got, want)
+		}
+	}
+	lo, hi := k.Range()
+	if lo != -60 || hi != 60 {
+		t.Fatalf("Range() = [%g, %g], want [-60, 60]", lo, hi)
+	}
+}
+
+func TestNewKernelRejectsEmptyRange(t *testing.T) {
+	if _, err := NewKernel(XOverExpm1, 1, 1, 1e-7); err == nil {
+		t.Fatal("expected error for hi == lo")
+	}
+}

@@ -1,0 +1,74 @@
+package orthodox
+
+import (
+	"sync"
+
+	"semsim/internal/numeric"
+	"semsim/internal/units"
+)
+
+// The normal-state orthodox rate factors into a junction-independent
+// dimensionless kernel and an exact prefactor:
+//
+//	Gamma(dW) = kT/(e^2 R) * g(dW/kT),   g(x) = x/(exp(x) - 1)
+//
+// so one tabulation of g serves every junction at every temperature —
+// unlike the superconducting quasi-particle table, which depends on
+// (R, gaps, T) and is cached per junction. The kernel is built once per
+// process with a measured relative-error bound; outside the tabulated
+// band |x| <= KernelXMax it falls back to exact evaluation, and the
+// T <= 0 limit is always computed exactly.
+const (
+	// KernelXMax bounds the tabulated band of x = dW/kT. Beyond +60 the
+	// rate has decayed by e^-60 (deep forbidden regime); beyond -60 it
+	// is ohmic to one part in 1e-26. Both tails evaluate exactly.
+	KernelXMax = 60.0
+	// KernelRelTol is the grid-refinement target for the kernel's
+	// relative interpolation error, an order of magnitude tighter than
+	// the 1e-6 bound the solver documents.
+	KernelRelTol = 1e-7
+)
+
+// Kernel is the tabulated normal-state rate kernel.
+type Kernel struct {
+	k *numeric.Kernel
+}
+
+var (
+	kernelOnce sync.Once
+	kernel     *Kernel
+)
+
+// SharedKernel returns the process-wide tabulated kernel, building it
+// on first use (a few thousand exp evaluations). It returns nil if the
+// refinement cannot reach KernelRelTol — callers must then use the
+// exact Rate.
+func SharedKernel() *Kernel {
+	kernelOnce.Do(func() {
+		k, err := numeric.NewKernel(numeric.XOverExpm1, -KernelXMax, KernelXMax, KernelRelTol)
+		if err != nil || k.MaxRelError() > KernelRelTol {
+			return
+		}
+		kernel = &Kernel{k: k}
+	})
+	return kernel
+}
+
+// G evaluates the dimensionless kernel g(x) = x/(exp(x)-1), interpolated
+// inside |x| <= KernelXMax and exact outside.
+func (k *Kernel) G(x float64) float64 { return k.k.Eval(x) }
+
+// Rate is the tabulated counterpart of Rate: identical arguments and
+// semantics, relative error bounded by KernelRelTol (the prefactor and
+// both fallback paths are exact).
+func (k *Kernel) Rate(dw, r, t float64) float64 {
+	if t <= 0 {
+		return Rate(dw, r, t)
+	}
+	kT := units.KB * t
+	return kT / (units.E * units.E * r) * k.k.Eval(dw/kT)
+}
+
+// MaxRelError reports the measured interpolation-error bound of the
+// tabulated band.
+func (k *Kernel) MaxRelError() float64 { return k.k.MaxRelError() }

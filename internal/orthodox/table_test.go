@@ -1,0 +1,91 @@
+package orthodox
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/rng"
+	"semsim/internal/units"
+)
+
+// TestKernelAccuracy asserts the solver's documented bound: tabulated
+// rates within 1e-6 relative error of exact evaluation, across the
+// physical temperature range and both inside and outside the tabulated
+// band of x = dW/kT (the tails fall back to exact evaluation).
+func TestKernelAccuracy(t *testing.T) {
+	k := SharedKernel()
+	if k == nil {
+		t.Fatal("shared kernel failed to build")
+	}
+	if k.MaxRelError() > KernelRelTol {
+		t.Fatalf("kernel reports error bound %g, want <= %g", k.MaxRelError(), KernelRelTol)
+	}
+	r := rng.New(4)
+	temps := []float64{0.05, 2, 77, 300}
+	const resistance = 1e6
+	for _, temp := range temps {
+		kT := units.KB * temp
+		for i := 0; i < 5000; i++ {
+			x := (r.Float64()*2 - 1) * 80 // spans the band edge at +-60
+			dw := x * kT
+			exact := Rate(dw, resistance, temp)
+			got := k.Rate(dw, resistance, temp)
+			if exact == 0 {
+				if got != 0 {
+					t.Fatalf("T=%g x=%g: exact 0 but table %g", temp, x, got)
+				}
+				continue
+			}
+			if rel := math.Abs(got-exact) / math.Abs(exact); rel > 1e-6 {
+				t.Fatalf("T=%g x=%g: table %g vs exact %g, rel err %g > 1e-6", temp, x, got, exact, rel)
+			}
+		}
+	}
+}
+
+// TestKernelZeroTemperatureExact: the T <= 0 limit must bypass the table
+// entirely.
+func TestKernelZeroTemperatureExact(t *testing.T) {
+	k := SharedKernel()
+	if k == nil {
+		t.Fatal("shared kernel failed to build")
+	}
+	for _, dw := range []float64{-3e-22, -1e-25, 0, 1e-25, 3e-22} {
+		if got, want := k.Rate(dw, 1e6, 0), Rate(dw, 1e6, 0); got != want {
+			t.Fatalf("dw=%g: T=0 table rate %g != exact %g", dw, got, want)
+		}
+	}
+}
+
+var sinkRate float64
+
+// The pair below is the tentpole's table-vs-exp microbenchmark: the same
+// spread of dW values through the exact exp-based rate and the shared
+// kernel.
+func benchmarkRate(b *testing.B, f func(dw float64) float64) {
+	const temp = 2.0
+	kT := units.KB * temp
+	dws := make([]float64, 1024)
+	r := rng.New(8)
+	for i := range dws {
+		dws[i] = (r.Float64()*2 - 1) * 40 * kT
+	}
+	b.ResetTimer()
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		acc += f(dws[i&1023])
+	}
+	sinkRate = acc
+}
+
+func BenchmarkOrthodoxRateExact(b *testing.B) {
+	benchmarkRate(b, func(dw float64) float64 { return Rate(dw, 1e6, 2.0) })
+}
+
+func BenchmarkOrthodoxRateTable(b *testing.B) {
+	k := SharedKernel()
+	if k == nil {
+		b.Fatal("shared kernel failed to build")
+	}
+	benchmarkRate(b, func(dw float64) float64 { return k.Rate(dw, 1e6, 2.0) })
+}

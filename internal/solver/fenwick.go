@@ -1,20 +1,71 @@
 package solver
 
 // fenwick is a binary indexed tree over non-negative channel rates. It
-// supports O(log n) point updates and O(log n) sampling of an index by
-// cumulative rate, which is what lets the adaptive solver pay only for
-// the channels it actually recomputed.
+// supports O(log n) point updates, O(n) bulk (re)construction, and
+// O(log n) sampling of an index by cumulative rate, which is what lets
+// the adaptive solver pay only for the channels it actually recomputed.
+//
+// Updates come in two flavours:
+//
+//   - set(i, v): immediate point update, O(log n);
+//   - stage(i, v) ... flush(): batched updates. stage records the new
+//     value (vals is current immediately, the tree is not); flush
+//     commits the whole batch, choosing between incremental point
+//     updates and a bulk O(n) rebuild, whichever is cheaper. The
+//     non-adaptive solver stages every channel each event, so its
+//     selection-tree maintenance costs O(n) instead of O(n log n).
+//
+// total() and find() must not be called with a non-empty staged batch.
 type fenwick struct {
-	n    int
-	tree []float64 // 1-based BIT partial sums
-	vals []float64 // current value per index
+	n       int
+	tree    []float64 // 1-based BIT partial sums
+	vals    []float64 // current value per index
+	pending []pendingUpdate
+	log2    int // ceil(log2(n)), the per-update tree cost
+}
+
+// pendingUpdate is one staged tree delta (vals is already updated).
+type pendingUpdate struct {
+	i int
+	d float64
 }
 
 func newFenwick(n int) *fenwick {
-	return &fenwick{n: n, tree: make([]float64, n+1), vals: make([]float64, n)}
+	log2 := 0
+	for 1<<log2 < n {
+		log2++
+	}
+	return &fenwick{n: n, tree: make([]float64, n+1), vals: make([]float64, n), log2: log2}
 }
 
-// set assigns value v (>= 0) to index i.
+// newFenwickFrom builds a tree over the given weights in O(n); negative
+// weights clamp to zero. The slice is copied.
+func newFenwickFrom(weights []float64) *fenwick {
+	f := newFenwick(len(weights))
+	for i, v := range weights {
+		if v > 0 {
+			f.vals[i] = v
+		}
+	}
+	f.build()
+	return f
+}
+
+// build recomputes the tree from vals in O(n): each node accumulates
+// its own value plus its children's partial sums, then pushes the total
+// to its parent.
+func (f *fenwick) build() {
+	for i := 1; i <= f.n; i++ {
+		f.tree[i] = f.vals[i-1]
+	}
+	for i := 1; i <= f.n; i++ {
+		if j := i + i&(-i); j <= f.n {
+			f.tree[j] += f.tree[i]
+		}
+	}
+}
+
+// set assigns value v (>= 0) to index i, updating the tree immediately.
 func (f *fenwick) set(i int, v float64) {
 	if v < 0 {
 		v = 0
@@ -29,6 +80,39 @@ func (f *fenwick) set(i int, v float64) {
 	}
 }
 
+// stage assigns value v (>= 0) to index i without updating the tree;
+// the caller must flush (or rebuild) before total() or find(). Staging
+// the same index twice in one batch is allowed.
+func (f *fenwick) stage(i int, v float64) {
+	if v < 0 {
+		v = 0
+	}
+	d := v - f.vals[i]
+	if d == 0 {
+		return
+	}
+	f.vals[i] = v
+	f.pending = append(f.pending, pendingUpdate{i: i, d: d})
+}
+
+// flush commits the staged batch: incremental O(k log n) point updates
+// for small batches, a bulk O(n) rebuild once that would be slower.
+func (f *fenwick) flush() {
+	if len(f.pending) == 0 {
+		return
+	}
+	if len(f.pending)*f.log2 >= f.n {
+		f.rebuild()
+		return
+	}
+	for _, p := range f.pending {
+		for j := p.i + 1; j <= f.n; j += j & (-j) {
+			f.tree[j] += p.d
+		}
+	}
+	f.pending = f.pending[:0]
+}
+
 // at returns the current value at index i.
 func (f *fenwick) at(i int) float64 { return f.vals[i] }
 
@@ -41,17 +125,12 @@ func (f *fenwick) total() float64 {
 	return s
 }
 
-// rebuild recomputes the tree from vals, clearing accumulated
-// floating-point drift from many incremental updates.
+// rebuild recomputes the tree from vals in O(n), discarding any staged
+// deltas (vals already holds the staged values) and clearing
+// accumulated floating-point drift from incremental updates.
 func (f *fenwick) rebuild() {
-	for i := range f.tree {
-		f.tree[i] = 0
-	}
-	for i, v := range f.vals {
-		for j := i + 1; j <= f.n; j += j & (-j) {
-			f.tree[j] += v
-		}
-	}
+	f.pending = f.pending[:0]
+	f.build()
 }
 
 // find returns the smallest index i such that the cumulative sum

@@ -97,3 +97,101 @@ func TestFenwickRebuildMatchesIncremental(t *testing.T) {
 		t.Fatalf("rebuild changed total: %g vs %g", before, after)
 	}
 }
+
+func TestFenwickFromBulkBuild(t *testing.T) {
+	weights := []float64{0.5, 0, 3, -2, 1e-9, 7}
+	f := newFenwickFrom(weights)
+	g := newFenwick(len(weights))
+	for i, w := range weights {
+		g.set(i, w)
+	}
+	if f.total() != g.total() {
+		t.Fatalf("bulk total %g != incremental total %g", f.total(), g.total())
+	}
+	for i := range weights {
+		if f.at(i) != g.at(i) {
+			t.Fatalf("at(%d): bulk %g != incremental %g", i, f.at(i), g.at(i))
+		}
+	}
+	if f.at(3) != 0 {
+		t.Fatal("negative weight must clamp to zero in bulk build")
+	}
+}
+
+func TestFenwickSingleChannel(t *testing.T) {
+	f := newFenwickFrom([]float64{2.5})
+	if f.total() != 2.5 {
+		t.Fatalf("total = %g, want 2.5", f.total())
+	}
+	if got := f.find(1.0); got != 0 {
+		t.Fatalf("find = %d, want 0", got)
+	}
+	f.stage(0, 4)
+	f.flush()
+	if f.total() != 4 {
+		t.Fatalf("total after stage+flush = %g, want 4", f.total())
+	}
+}
+
+func TestFenwickAllZeroWeights(t *testing.T) {
+	f := newFenwickFrom(make([]float64, 8))
+	if f.total() != 0 {
+		t.Fatalf("total = %g, want 0", f.total())
+	}
+	// Sampling an all-zero tree is the blockade case; the solver checks
+	// total() first, but find must still not walk out of bounds.
+	if got := f.find(0); got < 0 || got >= 8 {
+		t.Fatalf("find on empty tree returned out-of-range index %d", got)
+	}
+}
+
+func TestFenwickBulkBuildVsIncrementalRandom(t *testing.T) {
+	// Interleave stage/flush batches with immediate sets on one tree and
+	// mirror every assignment onto a plain incremental tree: totals and
+	// prefix structure must agree to rounding at every checkpoint.
+	const n = 257 // off power-of-two size
+	a := newFenwick(n)
+	b := newFenwick(n)
+	r := rng.New(99)
+	for round := 0; round < 50; round++ {
+		batch := 1 + r.Intn(2*n)
+		for k := 0; k < batch; k++ {
+			i := r.Intn(n)
+			v := r.Float64() * 1e10
+			if r.Intn(10) == 0 {
+				v = 0 // exercise zeroing channels
+			}
+			a.stage(i, v)
+			b.set(i, v)
+		}
+		a.flush()
+		if math.Abs(a.total()-b.total()) > 1e-6*(1+b.total()) {
+			t.Fatalf("round %d: staged total %g != incremental %g", round, a.total(), b.total())
+		}
+		for i := 0; i < n; i++ {
+			if a.at(i) != b.at(i) {
+				t.Fatalf("round %d: at(%d) %g != %g", round, i, a.at(i), b.at(i))
+			}
+		}
+		// Both trees must sample identically for the same u after a
+		// rebuild clears rounding drift.
+		a.rebuild()
+		b.rebuild()
+		for k := 0; k < 20; k++ {
+			u := r.Float64() * a.total()
+			if ga, gb := a.find(u), b.find(u); ga != gb {
+				t.Fatalf("round %d: find(%g) %d != %d", round, u, ga, gb)
+			}
+		}
+	}
+}
+
+func TestFenwickStageSameIndexTwice(t *testing.T) {
+	f := newFenwick(4)
+	f.stage(2, 5)
+	f.stage(2, 1) // second stage in the same batch must win
+	f.flush()
+	if f.at(2) != 1 || math.Abs(f.total()-1) > 1e-12 {
+		t.Fatalf("at(2)=%g total=%g, want 1, 1", f.at(2), f.total())
+	}
+}

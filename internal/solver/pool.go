@@ -1,0 +1,86 @@
+package solver
+
+import "sync"
+
+// pool is a persistent team of worker goroutines for within-run
+// parallel rate recomputation. Work is dispatched as contiguous index
+// shards with a fixed assignment — shard w of [0, total) always covers
+// the same range for a given worker count — so every result lands in a
+// slot owned by exactly one worker and the caller can reduce in index
+// order. That fixed structure is what keeps parallel runs bit-identical
+// to serial ones: the same floating-point values are computed and
+// combined in the same order, only on more cores.
+//
+// The pool is sized once (Options.Parallel) and its goroutines persist
+// for the lifetime of the Sim: a refresh dispatch costs two channel
+// operations per worker instead of goroutine spawns. Sim.Close (or its
+// finalizer) terminates the workers.
+type pool struct {
+	workers int // shard count, including the calling goroutine
+	jobs    chan poolJob
+}
+
+type poolJob struct {
+	fn     func(worker, lo, hi int)
+	worker int
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// newPool starts workers-1 goroutines; the calling goroutine acts as
+// worker 0 during run, so a pool of size 1 spawns nothing.
+func newPool(workers int) *pool {
+	p := &pool{workers: workers, jobs: make(chan poolJob)}
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			for j := range p.jobs {
+				j.fn(j.worker, j.lo, j.hi)
+				j.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run splits [0, total) into one contiguous shard per worker and blocks
+// until every shard has been processed. fn must only write state owned
+// by its index range (plus per-worker scratch indexed by worker), and
+// must not touch the Sim's shared mutable state — counters are reduced
+// by the caller after run returns.
+func (p *pool) run(total int, fn func(worker, lo, hi int)) {
+	if total <= 0 {
+		return
+	}
+	n := p.workers
+	if n > total {
+		n = total
+	}
+	if n <= 1 {
+		fn(0, 0, total)
+		return
+	}
+	var wg sync.WaitGroup
+	base, extra := total/n, total%n
+	lo := 0
+	first := poolJob{}
+	for w := 0; w < n; w++ {
+		size := base
+		if w < extra {
+			size++
+		}
+		job := poolJob{fn: fn, worker: w, lo: lo, hi: lo + size, wg: &wg}
+		lo += size
+		if w == 0 {
+			first = job
+			continue
+		}
+		wg.Add(1)
+		p.jobs <- job
+	}
+	// The caller works shard 0 while the others run.
+	first.fn(first.worker, first.lo, first.hi)
+	wg.Wait()
+}
+
+// close terminates the worker goroutines. run must not be called after.
+func (p *pool) close() { close(p.jobs) }

@@ -25,10 +25,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"semsim/internal/circuit"
 	"semsim/internal/cotunnel"
+	"semsim/internal/orthodox"
 	"semsim/internal/rng"
 	"semsim/internal/super"
 	"semsim/internal/units"
@@ -63,6 +65,21 @@ type Options struct {
 	// ProbeInterval decimates waveform recording: samples closer in
 	// time than this are dropped. Zero records every event.
 	ProbeInterval float64
+	// Parallel is the worker count of the within-run rate engine, which
+	// shards junction rate recomputation across goroutines during full
+	// refreshes, non-adaptive updates and large adaptive batches. The
+	// default (0) uses GOMAXPROCS; 1 forces the serial path. Parallel
+	// runs are bit-identical to serial ones — same seed, same events,
+	// same waveforms — so this is purely a speed knob. Small circuits
+	// (below the internal batch cutoff) always run serially.
+	Parallel int
+	// RateTables evaluates the normal-state orthodox and cotunneling
+	// rates through shared error-bounded interpolation tables (relative
+	// error < 1e-6, exact evaluation outside the tabulated band)
+	// instead of calling exp on every rate. Off by default so results
+	// match exact evaluation bit-for-bit; superconducting
+	// quasi-particle rates are always tabulated, as before.
+	RateTables bool
 }
 
 func (o *Options) setDefaults(numJunctions int) {
@@ -78,7 +95,15 @@ func (o *Options) setDefaults(numJunctions int) {
 	if o.CPWidthFloor <= 0 {
 		o.CPWidthFloor = 1e-3
 	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
 }
+
+// parallelCutoff is the smallest batch (junctions, secondary channels
+// or matrix rows) worth dispatching to the worker pool; below it the
+// fixed ~microsecond dispatch cost exceeds the sharded kernel work.
+const parallelCutoff = 128
 
 // Event channel kinds.
 type chKind uint8
@@ -145,6 +170,20 @@ type Sim struct {
 	chBw     []int
 	secChans []int // cotunnel + Cooper channel indices
 
+	// Within-run parallel rate engine (nil/empty when serial).
+	pool        *pool
+	rateFw      []float64 // per-junction scratch, compute phase
+	rateBw      []float64
+	secRate     []float64 // per-secondary-channel scratch
+	qScratch    []float64 // island charge vector for the sharded solve
+	workerCalcs []uint64  // per-worker rate-calc counters
+
+	// Tabulated normal-state kernels (nil when exact or superconducting).
+	normK    *orthodox.Kernel
+	cotK     *cotunnel.Kernel
+	ratePref []float64 // per-junction kT/(e^2 R)
+	invKT    float64
+
 	// Superconducting machinery (nil/empty when normal).
 	superOn bool
 	gap     float64
@@ -171,6 +210,7 @@ type Sim struct {
 	visited []uint32
 	stamp   uint32
 	scratch []int
+	flagged []int // junctions flagged this update, recalculated in batch
 
 	stats Stats
 }
@@ -217,10 +257,61 @@ func New(c *circuit.Circuit, opt Options) (*Sim, error) {
 			return nil, err
 		}
 	}
+	s.buildRateEngine()
 	s.collectBreakpoints()
 	s.fen = newFenwick(len(s.chans))
 	s.fullRefresh()
 	return s, nil
+}
+
+// buildRateEngine prepares the within-run parallel pool and the
+// tabulated normal-state kernels, when enabled and worthwhile.
+func (s *Sim) buildRateEngine() {
+	nj := s.c.NumJunctions()
+	if s.opt.RateTables && !s.superOn && s.opt.Temp > 0 {
+		if k := orthodox.SharedKernel(); k != nil {
+			s.normK = k
+			kT := units.KB * s.opt.Temp
+			s.invKT = 1 / kT
+			s.ratePref = make([]float64, nj)
+			for j := 0; j < nj; j++ {
+				s.ratePref[j] = kT / (units.E * units.E * s.c.Junction(j).R)
+			}
+		}
+		if s.opt.Cotunneling {
+			s.cotK = cotunnel.SharedKernel()
+		}
+	}
+	maxBatch := nj
+	if n := len(s.secChans); n > maxBatch {
+		maxBatch = n
+	}
+	if n := s.c.NumIslands(); n > maxBatch {
+		maxBatch = n
+	}
+	if s.opt.Parallel <= 1 || maxBatch < parallelCutoff {
+		return
+	}
+	s.pool = newPool(s.opt.Parallel)
+	s.rateFw = make([]float64, nj)
+	s.rateBw = make([]float64, nj)
+	s.secRate = make([]float64, len(s.secChans))
+	s.workerCalcs = make([]uint64, s.opt.Parallel)
+	// Backstop for callers that never Close: reclaim the worker
+	// goroutines when the Sim is collected.
+	runtime.SetFinalizer(s, (*Sim).Close)
+}
+
+// Close terminates the worker-pool goroutines of the parallel rate
+// engine. It is optional (a finalizer reclaims unclosed pools), safe to
+// call more than once, and a no-op for serial simulations; the Sim must
+// not be used after.
+func (s *Sim) Close() {
+	if s.pool != nil {
+		s.pool.close()
+		s.pool = nil
+		runtime.SetFinalizer(s, nil)
+	}
 }
 
 // buildChannels enumerates every event channel.

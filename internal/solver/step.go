@@ -48,66 +48,180 @@ func (s *Sim) nodeV(node int) float64 {
 }
 
 // --- Rate computation ---
+//
+// Every rate kernel below is pure with respect to the Sim: it reads the
+// frozen potential state (s.v, s.t) and immutable tables, and touches no
+// shared counters — work counts flow through explicit accumulators. That
+// is what lets the worker pool shard these calls across goroutines while
+// staying bit-identical to the serial loop: the same floats are computed
+// either way, and the caller commits them to the selection tree in index
+// order afterwards.
 
-// elecRate computes the first-order rate of moving one electron
+// elecRateRaw computes the first-order rate of moving one electron
 // src -> dst through junction j (quasi-particle rate in the
 // superconducting state) and returns both the rate and the dW used.
-func (s *Sim) elecRate(j, src, dst int) (rate, dw float64) {
-	s.stats.RateCalcs++
+func (s *Sim) elecRateRaw(j, src, dst int) (rate, dw float64) {
 	dw = s.c.DeltaWElectron(src, dst, s.nodeV(src), s.nodeV(dst))
 	if s.superOn {
 		return s.qpTab[j].Rate(dw), dw
 	}
+	if s.normK != nil {
+		return s.ratePref[j] * s.normK.G(dw*s.invKT), dw
+	}
 	return orthodox.Rate(dw, s.c.Junction(j).R, s.opt.Temp), dw
 }
 
-// recalcJunction refreshes both direction rates of junction j, caching
-// the free-energy changes and resetting the accumulated testing factor.
+// recalcJunction refreshes both direction rates of junction j on the
+// serial path: rates are staged into the selection tree, free-energy
+// changes cached, and the accumulated testing factor reset. The caller
+// must flush (or rebuild) the tree before sampling.
 func (s *Sim) recalcJunction(j int) {
+	s.stats.RateCalcs += 2
 	jn := s.c.Junction(j)
-	fw, dwFw := s.elecRate(j, jn.A, jn.B)
-	bw, dwBw := s.elecRate(j, jn.B, jn.A)
+	fw, dwFw := s.elecRateRaw(j, jn.A, jn.B)
+	bw, dwBw := s.elecRateRaw(j, jn.B, jn.A)
 	s.dwFw[j], s.dwBw[j] = dwFw, dwBw
 	s.b0[j] = 0
-	s.fen.set(s.chFw[j], fw)
-	s.fen.set(s.chBw[j], bw)
+	s.fen.stage(s.chFw[j], fw)
+	s.fen.stage(s.chBw[j], bw)
 }
 
-// recalcSecondary refreshes every cotunneling and Cooper-pair channel
-// (the non-adaptive solver of Fig. 3's flow).
-func (s *Sim) recalcSecondary() {
-	for _, ci := range s.secChans {
-		ch := &s.chans[ci]
-		switch ch.kind {
-		case chCotunnel:
-			s.fen.set(ci, s.cotunnelRate(ch))
-		case chCooper:
-			s.fen.set(ci, s.cooperRate(ch))
+// computeJunction is the worker-side half of recalcJunction: it computes
+// both rates and writes only junction-j-owned state (dW caches and the
+// rate scratch), so disjoint junction shards may run concurrently.
+func (s *Sim) computeJunction(j int) {
+	jn := s.c.Junction(j)
+	fw, dwFw := s.elecRateRaw(j, jn.A, jn.B)
+	bw, dwBw := s.elecRateRaw(j, jn.B, jn.A)
+	s.dwFw[j], s.dwBw[j] = dwFw, dwBw
+	s.rateFw[j], s.rateBw[j] = fw, bw
+}
+
+// applyJunction is the caller-side half: commit junction j's computed
+// rates to the selection tree and reset its testing factor. Called in
+// index order after the pool returns, it reproduces exactly the staging
+// sequence of the serial path.
+func (s *Sim) applyJunction(j int) {
+	s.b0[j] = 0
+	s.fen.stage(s.chFw[j], s.rateFw[j])
+	s.fen.stage(s.chBw[j], s.rateBw[j])
+}
+
+// refreshAllJunctions recomputes both rates of every junction, sharding
+// across the worker pool when the batch is large enough to amortize the
+// dispatch.
+func (s *Sim) refreshAllJunctions() {
+	nj := s.c.NumJunctions()
+	if s.pool == nil || nj < parallelCutoff {
+		for j := 0; j < nj; j++ {
+			s.recalcJunction(j)
 		}
+		return
+	}
+	s.pool.run(nj, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			s.computeJunction(j)
+		}
+	})
+	s.stats.RateCalcs += uint64(2 * nj)
+	for j := 0; j < nj; j++ {
+		s.applyJunction(j)
 	}
 }
 
-func (s *Sim) cotunnelRate(ch *channel) float64 {
-	s.stats.RateCalcs++
+// recalcFlagged batch-recomputes the junctions flagged by the adaptive
+// test, in parallel when the batch clears the cutoff (a refresh spill
+// can flag thousands of junctions on large circuits).
+func (s *Sim) recalcFlagged() {
+	m := len(s.flagged)
+	if s.pool == nil || m < parallelCutoff {
+		for _, j := range s.flagged {
+			s.recalcJunction(j)
+		}
+		return
+	}
+	s.pool.run(m, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.computeJunction(s.flagged[i])
+		}
+	})
+	s.stats.RateCalcs += uint64(2 * m)
+	for _, j := range s.flagged {
+		s.applyJunction(j)
+	}
+}
+
+// secondaryRate computes the rate of one cotunneling or Cooper-pair
+// channel, accumulating its rate-evaluation count into calcs.
+func (s *Sim) secondaryRate(ci int, calcs *uint64) float64 {
+	ch := &s.chans[ci]
+	switch ch.kind {
+	case chCotunnel:
+		return s.cotunnelRate(ch, calcs)
+	case chCooper:
+		return s.cooperRate(ch, calcs)
+	}
+	return 0
+}
+
+// recalcSecondary refreshes every cotunneling and Cooper-pair channel
+// (the non-adaptive solver of Fig. 3's flow), sharded across the pool
+// when the channel count clears the cutoff. Per-worker calc counters are
+// summed afterwards; each channel is evaluated exactly once, so the
+// total is independent of the sharding.
+func (s *Sim) recalcSecondary() {
+	n := len(s.secChans)
+	if s.pool == nil || n < parallelCutoff {
+		var calcs uint64
+		for _, ci := range s.secChans {
+			s.fen.stage(ci, s.secondaryRate(ci, &calcs))
+		}
+		s.stats.RateCalcs += calcs
+		return
+	}
+	for i := range s.workerCalcs {
+		s.workerCalcs[i] = 0
+	}
+	s.pool.run(n, func(w, lo, hi int) {
+		var calcs uint64
+		for i := lo; i < hi; i++ {
+			s.secRate[i] = s.secondaryRate(s.secChans[i], &calcs)
+		}
+		s.workerCalcs[w] = calcs
+	})
+	for _, c := range s.workerCalcs {
+		s.stats.RateCalcs += c
+	}
+	for i, ci := range s.secChans {
+		s.fen.stage(ci, s.secRate[i])
+	}
+}
+
+func (s *Sim) cotunnelRate(ch *channel, calcs *uint64) float64 {
+	*calcs++
 	vSrc, vMid, vDst := s.nodeV(ch.src), s.nodeV(ch.mid), s.nodeV(ch.dst)
 	dw := s.c.DeltaWElectron(ch.src, ch.dst, vSrc, vDst)
 	e1 := s.c.DeltaWElectron(ch.src, ch.mid, vSrc, vMid)
 	e2 := s.c.DeltaWElectron(ch.mid, ch.dst, vMid, vDst)
-	return cotunnel.Rate(dw, e1, e2, s.c.Junction(ch.junc).R, s.c.Junction(ch.junc2).R, s.opt.Temp)
+	r1, r2 := s.c.Junction(ch.junc).R, s.c.Junction(ch.junc2).R
+	if s.cotK != nil {
+		return s.cotK.Rate(dw, e1, e2, r1, r2, s.opt.Temp)
+	}
+	return cotunnel.Rate(dw, e1, e2, r1, r2, s.opt.Temp)
 }
 
 // cooperRate computes the incoherent resonant Cooper-pair rate for a
 // channel. The lifetime broadening gamma is the total quasi-particle
 // escape rate out of the post-tunneling state (the events that complete
 // a JQP/DJQP cycle), floored at CPWidthFloor * gap / hbar.
-func (s *Sim) cooperRate(ch *channel) float64 {
-	s.stats.RateCalcs++
+func (s *Sim) cooperRate(ch *channel, calcs *uint64) float64 {
+	*calcs++
 	ej := s.ej[ch.junc]
 	if ej <= 0 {
 		return 0
 	}
 	dw2 := s.c.DeltaW(ch.src, ch.dst, 2*units.E, s.nodeV(ch.src), s.nodeV(ch.dst))
-	gamma := s.qpEscapeAfter(ch)
+	gamma := s.qpEscapeAfter(ch, calcs)
 	if floor := s.opt.CPWidthFloor * s.gap / units.Hbar; gamma < floor {
 		gamma = floor
 	}
@@ -117,7 +231,7 @@ func (s *Sim) cooperRate(ch *channel) float64 {
 // qpEscapeAfter sums the quasi-particle rates available after the
 // Cooper pair of channel ch has tunneled, over every junction touching
 // the affected islands.
-func (s *Sim) qpEscapeAfter(ch *channel) float64 {
+func (s *Sim) qpEscapeAfter(ch *channel, calcs *uint64) float64 {
 	shift := func(node int) float64 {
 		if k := s.c.IslandIndex(node); k >= 0 {
 			return s.c.PotentialShift(k, ch.src, ch.dst, 2*units.E)
@@ -144,42 +258,67 @@ func (s *Sim) qpEscapeAfter(ch *channel) float64 {
 		va, vb := post(jn.A), post(jn.B)
 		total += s.qpTab[j].Rate(s.c.DeltaWElectron(jn.A, jn.B, va, vb))
 		total += s.qpTab[j].Rate(s.c.DeltaWElectron(jn.B, jn.A, vb, va))
-		s.stats.RateCalcs += 2
+		*calcs += 2
 	}
 	return total
 }
 
 // --- Refresh paths ---
 
+// refreshPotentials recomputes every island potential from scratch (the
+// O(islands^2) matrix-vector product). On large circuits with a pool the
+// rows are sharded across workers — rows are independent, and each
+// worker computes exactly the floats the serial solve would.
+func (s *Sim) refreshPotentials() {
+	ni := s.c.NumIslands()
+	if s.pool == nil || ni < parallelCutoff {
+		s.v = s.c.IslandPotentials(s.v, s.n, s.t)
+		return
+	}
+	if s.qScratch == nil {
+		s.qScratch = make([]float64, ni)
+	}
+	s.c.ChargeVector(s.qScratch, s.n)
+	s.pool.run(ni, func(_, lo, hi int) {
+		s.c.IslandPotentialsRange(s.v, s.qScratch, s.vext, lo, hi)
+	})
+}
+
 // fullRefresh recomputes everything exactly: external voltages, island
-// potentials from scratch (the O(islands^2) matrix-vector product; with
-// the refresh interval scaled to the junction count its amortized cost
-// is O(islands) per event), all channel rates, and the selection tree.
+// potentials from scratch (with the refresh interval scaled to the
+// junction count its amortized cost is O(islands) per event), all
+// channel rates, and the selection tree — each stage sharded across the
+// worker pool when large enough. The tree is rebuilt bottom-up in O(n),
+// which also clears accumulated floating-point drift from incremental
+// updates.
 func (s *Sim) fullRefresh() {
 	s.stats.FullRefreshes++
 	s.vext = s.c.ExternalVoltages(s.vext, s.t)
-	s.v = s.c.IslandPotentials(s.v, s.n, s.t)
-	for j := 0; j < s.c.NumJunctions(); j++ {
-		s.recalcJunction(j)
-	}
+	s.refreshPotentials()
+	s.refreshAllJunctions()
 	s.recalcSecondary()
 	s.fen.rebuild()
 }
 
 // nonAdaptiveUpdate recomputes all rates after an event (potentials are
 // refreshed lazily but every junction touches its nodes, so everything
-// becomes fresh).
+// becomes fresh). All updates are staged and committed in one flush,
+// which picks a bulk rebuild over per-channel tree walks once the batch
+// is large.
 func (s *Sim) nonAdaptiveUpdate() {
-	for j := 0; j < s.c.NumJunctions(); j++ {
-		s.recalcJunction(j)
-	}
+	s.refreshAllJunctions()
 	s.recalcSecondary()
+	s.fen.flush()
 }
 
 // adaptiveUpdate implements Algorithm 1 after the event on channel ch:
-// test the event junction(s), flag and recompute those whose potential
-// change exceeds the threshold, and spill to neighbours of flagged
-// junctions.
+// test the event junction(s), flag those whose potential change exceeds
+// the threshold, and spill to neighbours of flagged junctions. The
+// flag test reads only the tested junction's own accumulated factor and
+// cached dW — never another junction's refreshed rates — so flagged
+// junctions are collected first and recomputed as one batch (in
+// parallel when large), which changes nothing about which junctions
+// flag or what their new rates are.
 func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue []int) []int {
 	deltaP := func(node int) float64 {
 		if k := s.c.IslandIndex(node); k >= 0 {
@@ -198,6 +337,7 @@ func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue 
 	if ch.junc2 >= 0 {
 		push(ch.junc2)
 	}
+	s.flagged = s.flagged[:0]
 	for head := 0; head < len(queue); head++ {
 		j := queue[head]
 		jn := s.c.Junction(j)
@@ -206,7 +346,7 @@ func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue 
 		thr := math.Min(math.Abs(s.dwFw[j]), math.Abs(s.dwBw[j]))
 		if units.E*math.Abs(b) >= s.opt.Alpha*thr {
 			s.stats.Flagged++
-			s.recalcJunction(j)
+			s.flagged = append(s.flagged, j)
 			for _, nb := range s.c.JunctionNeighbors(j) {
 				push(nb)
 			}
@@ -214,7 +354,9 @@ func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue 
 			s.b0[j] = b
 		}
 	}
+	s.recalcFlagged()
 	s.recalcSecondary()
+	s.fen.flush()
 	return queue
 }
 
@@ -265,6 +407,7 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 		}
 		return dext[node]
 	}
+	s.flagged = s.flagged[:0]
 	for j := 0; j < s.c.NumJunctions(); j++ {
 		jn := s.c.Junction(j)
 		b := s.b0[j] + deltaP(jn.A) - deltaP(jn.B)
@@ -272,12 +415,14 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 		thr := math.Min(math.Abs(s.dwFw[j]), math.Abs(s.dwBw[j]))
 		if units.E*math.Abs(b) >= s.opt.Alpha*thr {
 			s.stats.Flagged++
-			s.recalcJunction(j)
+			s.flagged = append(s.flagged, j)
 		} else {
 			s.b0[j] = b
 		}
 	}
+	s.recalcFlagged()
 	s.recalcSecondary()
+	s.fen.flush()
 	return queue
 }
 

@@ -224,20 +224,11 @@ func NewQPTable(r, d1, d2, t, vmax float64) (*QPTable, error) {
 		grid = append(grid, numeric.Linspace(math.Max(0, vMatch-0.2*vOnset), math.Min(vmax, vMatch+0.2*vOnset), 160)...)
 	}
 	grid = append(grid, numeric.Linspace(0, math.Min(vmax, 10*vt), 80)...)
-	sortFloats(grid)
-	// Dedupe with a separation floor so PCHIP stays well conditioned.
-	minSep := vmax * 1e-9
-	xs := grid[:1]
-	for _, g := range grid[1:] {
-		if g-xs[len(xs)-1] > minSep {
-			xs = append(xs, g)
-		}
-	}
-	ys := make([]float64, len(xs))
-	for i, v := range xs {
-		ys[i] = Iqp(v, r, d1, d2, t)
-	}
-	tab, err := numeric.NewTable(xs, ys)
+	// Shared table machinery: sort, dedupe with a separation floor so
+	// PCHIP stays well conditioned, evaluate, build.
+	tab, err := numeric.TabulateGrid(grid, vmax*1e-9, func(v float64) float64 {
+		return Iqp(v, r, d1, d2, t)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("super: building QP table: %w", err)
 	}

@@ -6,12 +6,34 @@
 package sweep
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"semsim/internal/circuit"
 	"semsim/internal/solver"
 )
+
+// PointError reports a sweep point that failed, carrying enough context
+// to reproduce it in isolation: the flat point index (row-major for 2-D
+// maps) and the swept value(s). The underlying cause is available via
+// errors.Unwrap / errors.Is.
+type PointError struct {
+	Index int     // flat index into the sweep (iy*len(xs)+ix for maps)
+	X     float64 // swept value (first axis)
+	Y     float64 // second-axis value; meaningful only when Is2D
+	Is2D  bool
+	Err   error
+}
+
+func (e *PointError) Error() string {
+	if e.Is2D {
+		return fmt.Sprintf("sweep: point %d (x=%g, y=%g): %v", e.Index, e.X, e.Y, e.Err)
+	}
+	return fmt.Sprintf("sweep: point %d (x=%g): %v", e.Index, e.X, e.Err)
+}
+
+func (e *PointError) Unwrap() error { return e.Err }
 
 // Point is one sweep sample.
 type Point struct {
@@ -61,9 +83,9 @@ func IV(build BuildFunc, xs []float64, cfg Config) ([]Point, error) {
 	}
 	close(work)
 	wg.Wait()
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, &PointError{Index: i, X: xs[i], Err: err}
 		}
 	}
 	return pts, nil
@@ -76,10 +98,16 @@ func runPoint(build BuildFunc, x float64, idx int, cfg Config) (Point, error) {
 	}
 	opt := cfg.Options
 	opt.Seed += uint64(idx)
+	if opt.Parallel == 0 {
+		// The sweep already runs one simulation per CPU; per-point worker
+		// pools would only oversubscribe, so default each point to serial.
+		opt.Parallel = 1
+	}
 	s, err := solver.New(c, opt)
 	if err != nil {
 		return Point{}, err
 	}
+	defer s.Close()
 	if _, err := s.Run(cfg.WarmEvents, cfg.MaxTime/5); err != nil {
 		if err == solver.ErrBlockaded {
 			return Point{X: x, I: 0, Blockaded: true}, nil
@@ -162,9 +190,10 @@ func Map2D(build Build2DFunc, xs, ys []float64, cfg Config) ([][]float64, error)
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
+	for idx, err := range errs {
 		if err != nil {
-			return nil, err
+			ix, iy := idx%len(xs), idx/len(xs)
+			return nil, &PointError{Index: idx, X: xs[ix], Y: ys[iy], Is2D: true, Err: err}
 		}
 	}
 	return grid, nil

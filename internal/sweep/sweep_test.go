@@ -170,3 +170,61 @@ func TestMap2DShapeAndSymmetry(t *testing.T) {
 			grid[1][3], grid[0][3])
 	}
 }
+
+func TestIVPointError(t *testing.T) {
+	boom := errors.New("boom")
+	xs := []float64{0.01, 0.02, 0.03}
+	_, err := IV(func(v float64) (*circuit.Circuit, int, error) {
+		if v == 0.02 {
+			return nil, 0, boom
+		}
+		return buildSET(v)
+	}, xs, Config{
+		Options:    solver.Options{Temp: 5, Seed: 1},
+		WarmEvents: 50,
+		Events:     200,
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PointError", err)
+	}
+	if pe.Index != 1 || pe.X != 0.02 || pe.Is2D {
+		t.Fatalf("PointError = %+v, want Index=1 X=0.02 Is2D=false", pe)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("PointError must unwrap to the underlying cause")
+	}
+}
+
+func TestMap2DPointError(t *testing.T) {
+	boom := errors.New("bad pixel")
+	xs := []float64{0.01, 0.02}
+	ys := []float64{0, 0.01}
+	_, err := Map2D(func(x, y float64) (*circuit.Circuit, int, error) {
+		if x == 0.02 && y == 0.01 {
+			return nil, 0, boom
+		}
+		return buildSET(x)
+	}, xs, ys, Config{
+		Options:    solver.Options{Temp: 5, Seed: 1},
+		WarmEvents: 50,
+		Events:     200,
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PointError", err)
+	}
+	// Flat index 3 = iy*len(xs)+ix = 1*2+1.
+	if pe.Index != 3 || pe.X != 0.02 || pe.Y != 0.01 || !pe.Is2D {
+		t.Fatalf("PointError = %+v, want Index=3 X=0.02 Y=0.01 Is2D=true", pe)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("PointError must unwrap to the underlying cause")
+	}
+}
