@@ -1,19 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test unit race bench rate-engine experiments quick-experiments fmt vet
+.PHONY: all build test unit race bench rate-engine experiments quick-experiments fmt vet lint debug fuzz
 
 all: build test
 
 build:
 	go build ./...
 
-# The default test flow: static checks, the full unit suite, then the
-# race detector over the packages with internal concurrency (the
-# within-run parallel rate engine and the sweep/bench fan-outs).
-test: vet unit race
+# The default test flow: static checks (go vet plus the semsimlint
+# analyzer suite), the full unit suite, the semsimdebug invariant build,
+# then the race detector over the packages with internal concurrency
+# (the within-run parallel rate engine and the sweep/bench fan-outs).
+test: vet lint unit debug race
 
 unit:
 	go test ./...
+
+# Unit suite with the runtime invariant layer compiled in: electron
+# conservation, Fenwick consistency, potential drift and kernel accuracy
+# are asserted on every solver step.
+debug:
+	go test -tags semsimdebug ./...
 
 race:
 	go test -race ./internal/solver/... ./internal/sweep/... ./internal/bench/...
@@ -42,3 +49,21 @@ fmt:
 
 vet:
 	go vet ./...
+
+# The project's own analyzer suite (see DESIGN.md section 7), run
+# through `go vet -vettool` so findings carry standard file:line
+# formatting and vet's package loader. Both build configurations are
+# checked so the semsimdebug-only files stay clean too.
+lint: bin/semsimlint
+	go vet -vettool=bin/semsimlint ./...
+	go vet -vettool=bin/semsimlint -tags semsimdebug ./...
+
+bin/semsimlint: FORCE
+	go build -o bin/semsimlint ./cmd/semsimlint
+
+FORCE:
+
+# Short local fuzzing bursts over the committed seed corpora.
+fuzz:
+	go test -fuzz FuzzNetlistParse -fuzztime 30s ./internal/netlist/
+	go test -fuzz FuzzFenwick -fuzztime 30s ./internal/solver/

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"semsim/internal/matrix"
+	"semsim/internal/numeric"
 	"semsim/internal/units"
 )
 
@@ -114,7 +115,7 @@ func (p PWL) V(t float64) float64 {
 func (p PWL) RampStep(t float64) float64 {
 	for i := 1; i < len(p.T); i++ {
 		if t >= p.T[i-1] && t < p.T[i] {
-			if p.Volt[i] != p.Volt[i-1] {
+			if !numeric.SameBits(p.Volt[i], p.Volt[i-1]) {
 				return (p.T[i] - p.T[i-1]) / 16
 			}
 			return 0
@@ -126,7 +127,7 @@ func (p PWL) RampStep(t float64) float64 {
 // Static reports whether all breakpoint voltages are equal.
 func (p PWL) Static() bool {
 	for _, v := range p.Volt[1:] {
-		if v != p.Volt[0] {
+		if !numeric.SameBits(v, p.Volt[0]) {
 			return false
 		}
 	}

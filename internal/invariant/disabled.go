@@ -1,0 +1,21 @@
+//go:build !semsimdebug
+
+package invariant
+
+// Enabled reports whether runtime invariant checking is compiled in.
+// In the default build it is a false constant, so guarded check blocks
+// vanish entirely.
+const Enabled = false
+
+// Checkf is a no-op in the default build. Call sites must still guard
+// with Enabled so the arguments are never evaluated.
+func Checkf(bool, string, ...any) {}
+
+// Violations always reports zero in the default build.
+func Violations() uint64 { return 0 }
+
+// Messages always reports nothing in the default build.
+func Messages() []string { return nil }
+
+// Reset is a no-op in the default build.
+func Reset() {}

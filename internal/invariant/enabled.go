@@ -1,0 +1,63 @@
+//go:build semsimdebug
+
+package invariant
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Enabled reports whether runtime invariant checking is compiled in.
+// Guard every check site with it so the disabled build dead-code
+// eliminates the whole block, argument evaluation included.
+const Enabled = true
+
+// maxMessages caps the retained violation descriptions; the counter
+// keeps counting past it.
+const maxMessages = 64
+
+var (
+	violations atomic.Uint64
+	msgMu      sync.Mutex
+	msgs       []string
+)
+
+// Checkf records a violation when cond is false. It never panics: a
+// debug run should surface every broken invariant of a trajectory, not
+// just the first, and the tests assert the final count is zero.
+func Checkf(cond bool, format string, args ...any) {
+	if cond {
+		return
+	}
+	violations.Add(1)
+	msgMu.Lock()
+	if len(msgs) < maxMessages {
+		msgs = append(msgs, fmt.Sprintf(format, args...))
+	}
+	msgMu.Unlock()
+}
+
+// Violations returns the number of failed checks since the last Reset.
+func Violations() uint64 { return violations.Load() }
+
+// Messages returns the retained violation descriptions (at most
+// maxMessages) since the last Reset.
+func Messages() []string {
+	msgMu.Lock()
+	defer msgMu.Unlock()
+	if len(msgs) == 0 {
+		return nil
+	}
+	out := make([]string, len(msgs))
+	copy(out, msgs)
+	return out
+}
+
+// Reset clears the violation counter and retained messages.
+func Reset() {
+	violations.Store(0)
+	msgMu.Lock()
+	msgs = nil
+	msgMu.Unlock()
+}

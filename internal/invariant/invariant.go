@@ -1,0 +1,17 @@
+// Package invariant is the runtime assertion layer of the simulator,
+// compiled in only under the semsimdebug build tag:
+//
+//	go test -tags semsimdebug ./...
+//
+// The solver wires physics invariants through it — electron
+// conservation after every event, rate non-negativity, Fenwick
+// prefix-sum consistency against a naive sum, incremental-potential
+// drift against a fresh matrix solve, and tabulated-kernel accuracy
+// against exact evaluation. A violation is recorded, not panicked on,
+// so one debug run reports every broken invariant of a trajectory;
+// tests assert Violations() == 0 at the end.
+//
+// In the default build Enabled is the constant false and every check
+// block guarded by it is eliminated at compile time, so the release
+// solver pays nothing.
+package invariant

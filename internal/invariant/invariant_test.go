@@ -1,0 +1,32 @@
+package invariant
+
+import "testing"
+
+// TestCheckf runs under both builds: with -tags semsimdebug it verifies
+// recording, counting and reset; in the default build it verifies the
+// no-op stubs stay silent.
+func TestCheckf(t *testing.T) {
+	Reset()
+	Checkf(true, "satisfied invariant must not record")
+	Checkf(false, "violated invariant %d", 7)
+	if !Enabled {
+		if Violations() != 0 {
+			t.Fatalf("disabled build recorded %d violations", Violations())
+		}
+		if Messages() != nil {
+			t.Fatalf("disabled build retained messages %q", Messages())
+		}
+		return
+	}
+	if Violations() != 1 {
+		t.Fatalf("violations = %d, want 1", Violations())
+	}
+	msgs := Messages()
+	if len(msgs) != 1 || msgs[0] != "violated invariant 7" {
+		t.Fatalf("messages = %q", msgs)
+	}
+	Reset()
+	if Violations() != 0 || Messages() != nil {
+		t.Fatalf("reset left %d violations, messages %q", Violations(), Messages())
+	}
+}

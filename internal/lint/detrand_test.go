@@ -1,0 +1,15 @@
+package lint
+
+import "testing"
+
+func TestDetrand(t *testing.T) {
+	RunFixture(t, Detrand, "detrand/a")
+}
+
+func TestDetrandAllowsInternalRNG(t *testing.T) {
+	RunFixture(t, Detrand, "detrand/internal/rng")
+}
+
+func TestDetrandMapRangesInCorePackages(t *testing.T) {
+	RunFixture(t, Detrand, "detrand/internal/solver")
+}

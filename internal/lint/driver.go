@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+)
+
+// Run loads the packages matching patterns (rooted at dir, with the
+// given build tags), applies the analyzers, and prints one
+// "file:line:col: analyzer: message" line per finding to w. It returns
+// the number of findings.
+func Run(dir, tags string, analyzers []*Analyzer, patterns []string, w io.Writer) (int, error) {
+	pkgs, err := Load(dir, tags, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := runAnalyzers(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Path)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}

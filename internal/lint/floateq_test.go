@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestFloateq(t *testing.T) {
+	RunFixture(t, Floateq, "floateq/a")
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestPhyserr(t *testing.T) {
+	RunFixture(t, Physerr, "semsim/physa")
+}

@@ -1,0 +1,23 @@
+package lint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestModuleIsLintClean dogfoods the whole suite over the module
+// itself, in both build configurations: the tree must stay free of
+// findings, since satellite policy is to fix code, not suppress
+// diagnostics.
+func TestModuleIsLintClean(t *testing.T) {
+	for _, tags := range []string{"", "semsimdebug"} {
+		var buf bytes.Buffer
+		n, err := Run("../..", tags, All(), []string{"./..."}, &buf)
+		if err != nil {
+			t.Fatalf("tags %q: %v", tags, err)
+		}
+		if n != 0 {
+			t.Errorf("tags %q: module has %d lint findings:\n%s", tags, n, buf.String())
+		}
+	}
+}

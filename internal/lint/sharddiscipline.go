@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Sharddiscipline guards the contract of the within-run parallel rate
+// engine (internal/solver): worker bodies handed to pool.run may write
+// only state owned by their shard. The pool's bit-reproducibility
+// argument — parallel runs compute exactly the serial floats and commit
+// them in index order — holds precisely because a worker's writes are
+// confined to slots indexed through its [lo, hi) range (or its worker
+// id), and everything shared is reduced by the caller afterwards.
+//
+// Inside a function literal passed to (*pool).run, the analyzer flags:
+//
+//   - writes to captured variables (s.stats.RateCalcs += ... is the
+//     classic lost-update race);
+//   - writes through captured slices whose index is not derived from
+//     the shard parameters (worker/lo/hi or loop variables bound by
+//     them);
+//   - writes through captured maps (concurrent map writes fault).
+//
+// Separately, for plain `go` statements in the package it flags
+// captured variables that are reassigned after the goroutine launches —
+// the capture-then-mutate hazard that makes a worker observe a torn or
+// future value.
+//
+// The analysis is intraprocedural: methods called from a worker (the
+// compute* shard kernels) are the audited shard API, not re-verified
+// here.
+var Sharddiscipline = &Analyzer{
+	Name: "sharddiscipline",
+	Doc:  "in internal/solver pool workers, flag writes outside shard-owned slots and captured-variable hazards",
+	Run:  runSharddiscipline,
+}
+
+func runSharddiscipline(pass *Pass) error {
+	if !pathHasSuffixAny(pass.Path, []string{"internal/solver"}) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if lit := poolRunWorker(pass, e); lit != nil {
+					checkWorkerBody(pass, lit)
+				}
+			case *ast.FuncDecl:
+				if e.Body != nil {
+					checkGoCaptures(pass, e.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// poolRunWorker returns the worker function literal of a
+// (*pool).run(total, fn) call, or nil.
+func poolRunWorker(pass *Pass, call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "run" || len(call.Args) != 2 {
+		return nil
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return nil
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "pool" {
+		return nil
+	}
+	lit, _ := call.Args[1].(*ast.FuncLit)
+	return lit
+}
+
+// checkWorkerBody enforces shard-local writes inside one pool worker.
+func checkWorkerBody(pass *Pass, lit *ast.FuncLit) {
+	derived := shardDerivedVars(pass, lit)
+	local := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()
+	}
+	exprDerived := func(e ast.Expr) bool { return shardDerivedExpr(pass, e, derived) }
+
+	checkWrite := func(lhs ast.Expr, pos token.Pos) {
+		switch t := lhs.(type) {
+		case *ast.IndexExpr:
+			root := rootIdent(t.X)
+			if root == nil || local(pass.Info.ObjectOf(root)) {
+				return
+			}
+			if bt := pass.Info.TypeOf(t.X); bt != nil {
+				if _, isMap := bt.Underlying().(*types.Map); isMap {
+					pass.Reportf(pos, "write to captured map %s inside pool worker: concurrent map writes fault; reduce in the caller", types.ExprString(t.X))
+					return
+				}
+			}
+			if !exprDerived(t.Index) {
+				pass.Reportf(pos, "write to %s[%s] inside pool worker: index is not derived from the shard range (worker/lo/hi); workers may only write shard-owned slots", types.ExprString(t.X), types.ExprString(t.Index))
+			}
+		case *ast.Ident:
+			if t.Name == "_" {
+				return
+			}
+			if obj := pass.Info.ObjectOf(t); obj != nil && !local(obj) {
+				pass.Reportf(pos, "write to captured variable %s inside pool worker: shared state must be reduced by the caller after run returns", t.Name)
+			}
+		case *ast.SelectorExpr:
+			root := rootIdent(t)
+			if root != nil && !local(pass.Info.ObjectOf(root)) {
+				pass.Reportf(pos, "write to captured state %s inside pool worker: shared state must be reduced by the caller after run returns", types.ExprString(t))
+			}
+		case *ast.StarExpr:
+			pass.Reportf(pos, "write through pointer %s inside pool worker: aliasing defeats shard ownership", types.ExprString(t.X))
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkWrite(lhs, lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkWrite(st.X, st.X.Pos())
+		}
+		return true
+	})
+}
+
+// shardDerivedVars computes the set of variables whose values are
+// derived from the worker's shard parameters: the parameters
+// themselves, plus variables assigned exclusively from derived
+// expressions (two passes reach the fixed point for loop-nest shapes).
+func shardDerivedVars(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.ObjectOf(name); obj != nil {
+				derived[obj] = true
+			}
+		}
+	}
+	for pass2 := 0; pass2 < 2; pass2++ {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, isId := lhs.(*ast.Ident)
+				if !isId || id.Name == "_" {
+					continue
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if shardDerivedExpr(pass, st.Rhs[i], derived) {
+					derived[obj] = true
+				} else {
+					delete(derived, obj)
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// shardDerivedExpr reports whether every variable e reads is
+// shard-derived and e applies only arithmetic to them — i.e. the value
+// indexes inside the worker's shard by construction. Calls, selector
+// loads and indexing produce data, not shard indices, so they are not
+// derived.
+func shardDerivedExpr(pass *Pass, e ast.Expr, derived map[types.Object]bool) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(t)
+		if obj == nil {
+			return false
+		}
+		if _, isVar := obj.(*types.Var); isVar {
+			return derived[obj]
+		}
+		_, isConst := obj.(*types.Const)
+		return isConst
+	case *ast.BasicLit:
+		return false // a fixed index is shared across every worker
+	case *ast.BinaryExpr:
+		switch t.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+			// Arithmetic is derived as soon as one operand carries the
+			// shard range and the rest are derived or constant.
+			xd, yd := shardDerivedExpr(pass, t.X, derived), shardDerivedExpr(pass, t.Y, derived)
+			xc, yc := exprIsConstant(pass, t.X), exprIsConstant(pass, t.Y)
+			return (xd && (yd || yc)) || (yd && xc)
+		}
+		return false
+	case *ast.ParenExpr:
+		return shardDerivedExpr(pass, t.X, derived)
+	}
+	return false
+}
+
+func exprIsConstant(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// rootIdent walks selector/index chains to the base identifier
+// (s.rateFw -> s); nil when the base is a call or other expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkGoCaptures flags locals captured by a `go func(){...}()` literal
+// and reassigned later in the enclosing body: the goroutine races with
+// the later write.
+func checkGoCaptures(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		captured := map[types.Object]*ast.Ident{}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, isId := m.(*ast.Ident)
+			if !isId {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			v, isVar := obj.(*types.Var)
+			if !isVar || v.IsField() {
+				return true
+			}
+			// Captured: declared in the enclosing function (inside body,
+			// before the literal), not inside the literal itself.
+			if v.Pos() >= body.Pos() && v.Pos() < lit.Pos() {
+				captured[obj] = id
+			}
+			return true
+		})
+		if len(captured) == 0 {
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			switch st := m.(type) {
+			case *ast.AssignStmt:
+				if st.Pos() <= gs.End() {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if id, isId := lhs.(*ast.Ident); isId {
+						if obj := pass.Info.ObjectOf(id); obj != nil && captured[obj] != nil {
+							pass.Reportf(st.Pos(), "variable %s is captured by a goroutine launched at %s and reassigned here: the worker races with this write", id.Name, pass.Fset.Position(gs.Pos()))
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if st.Pos() <= gs.End() {
+					return true
+				}
+				if id, isId := st.X.(*ast.Ident); isId {
+					if obj := pass.Info.ObjectOf(id); obj != nil && captured[obj] != nil {
+						pass.Reportf(st.Pos(), "variable %s is captured by a goroutine launched at %s and mutated here: the worker races with this write", id.Name, pass.Fset.Position(gs.Pos()))
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestSharddiscipline(t *testing.T) {
+	RunFixture(t, Sharddiscipline, "sharddiscipline/internal/solver")
+}
+
+func TestSharddisciplineOnlyFiresInSolver(t *testing.T) {
+	RunFixture(t, Sharddiscipline, "sharddiscipline/a")
+}

@@ -1,0 +1,28 @@
+// Package a exercises the module-wide detrand rules: banned randomness
+// imports and time-seeded values. It is NOT a determinism-core package,
+// so its map ranges are unconstrained.
+package a
+
+import (
+	"math/rand" // want "import of math/rand: all simulator randomness must flow through internal/rng"
+	"time"
+)
+
+func seeds() (int64, int64) {
+	good := time.Now()                 // reading the clock is fine
+	bad := time.Now().UnixNano()       // want "time-seeded value time.Now\\(\\)\\.UnixNano\\(\\)"
+	worse := time.Now().Unix()         // want "time-seeded value time.Now\\(\\)\\.Unix\\(\\)"
+	_ = time.Since(good).Nanoseconds() // durations are not seeds
+	_ = rand.Int()
+	return bad, worse
+}
+
+// Map ranges outside the determinism core are not the analyzer's
+// business: this order-sensitive loop must NOT be flagged here.
+func freeMapRange(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,8 @@
+// Package rng is the one place allowed to touch math/rand (e.g. to
+// cross-validate distributions); the import must not be flagged.
+package rng
+
+import "math/rand"
+
+// Reference exposes a stdlib generator for cross-validation tests.
+func Reference(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

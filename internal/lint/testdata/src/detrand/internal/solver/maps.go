@@ -1,0 +1,81 @@
+// Package solver (fixture) exercises the map-iteration rules in a
+// determinism-core package path.
+package solver
+
+import "sort"
+
+type state struct {
+	rates []float64
+	total float64
+}
+
+// Order-insensitive bodies: commutative accumulation, counters,
+// set/map writes, guarded extrema, deletes.
+func allowed(m map[int]float64, other map[int]bool) float64 {
+	sum := 0.0
+	n := 0
+	max := 0.0
+	seen := map[int]bool{}
+	for k, v := range m {
+		sum += v
+		n++
+		seen[k] = true
+		if v > max {
+			max = v
+		}
+		tmp := v * 2
+		sum += tmp
+		delete(other, k)
+	}
+	return sum + float64(n) + max
+}
+
+// The collect-then-sort idiom is the sanctioned way to iterate a map
+// deterministically.
+func collectThenSort(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func appendNoSort(m map[int]float64, s *state) {
+	for _, v := range m {
+		s.rates = append(s.rates, v) // want "append accumulates in map order without a subsequent sort"
+	}
+}
+
+func returnInside(m map[int]float64) float64 {
+	for _, v := range m {
+		if v > 0 {
+			return v // want "return inside map range picks an arbitrary element"
+		}
+	}
+	return 0
+}
+
+func sideEffectCall(m map[int]float64, s *state) {
+	for _, v := range m {
+		s.push(v) // want "call with potential side effects inside map range"
+	}
+}
+
+func sliceWrite(m map[int]float64, out []float64) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want "indexed write in map order"
+		i++
+	}
+}
+
+func outerAssign(m map[int]float64) float64 {
+	last := 0.0
+	for _, v := range m {
+		last = v // want "assignment to variable declared outside the loop"
+	}
+	return last
+}
+
+func (s *state) push(v float64) { s.rates = append(s.rates, v) }

@@ -1,0 +1,36 @@
+// Package a exercises floateq: raw float equality is flagged; zero
+// sentinels, NaN self-tests and integer comparisons are not.
+package a
+
+type volts float64
+
+type sample struct {
+	T, V float64
+}
+
+type meta struct {
+	Name string
+	N    int
+}
+
+func compare(a, b float64, f32a, f32b float32, va, vb volts) []bool {
+	return []bool{
+		a == b,       // want "floating-point == comparison"
+		a != b,       // want "floating-point != comparison"
+		f32a == f32b, // want "floating-point == comparison"
+		va != vb,     // want "floating-point != comparison"
+		a == 0,       // exact zero sentinel: allowed
+		0.0 != b,     // exact zero sentinel: allowed
+		a != a,       // the NaN test: allowed
+	}
+}
+
+func composite(s1, s2 sample, m1, m2 meta) []bool {
+	return []bool{
+		s1 == s2, // want "== on float-containing composite type"
+		s1 != s2, // want "!= on float-containing composite type"
+		m1 == m2, // no floats inside: allowed
+	}
+}
+
+func ints(i, j int) bool { return i == j }

@@ -1,0 +1,5 @@
+// Package extern (fixture) stands in for out-of-module code: its
+// errors are outside physerr's watched set.
+package extern
+
+func Log() error { return nil }

@@ -1,0 +1,13 @@
+// Package matrix (fixture) models the error-returning numerical API
+// whose results physerr refuses to let callers drop.
+package matrix
+
+import "errors"
+
+var ErrNotPositiveDefinite = errors.New("matrix: not positive definite")
+
+func Solve() error { return nil }
+
+func Decompose() (int, error) { return 0, nil }
+
+func Factor() error { return ErrNotPositiveDefinite }

@@ -1,0 +1,40 @@
+// Package physa (fixture) sits on the semsim module path and consumes
+// the watched matrix API: every dropped or blanked error is flagged,
+// handled errors and out-of-module calls are not.
+package physa
+
+import (
+	"fmt"
+
+	"physerr/extern"
+	"physerr/internal/matrix"
+)
+
+func dropped() {
+	matrix.Factor()      // want "error result of matrix.Factor is discarded"
+	go matrix.Solve()    // want "error result of matrix.Solve is discarded"
+	defer matrix.Solve() // want "error result of matrix.Solve is discarded"
+}
+
+func blanked() int {
+	_ = matrix.Solve()         // want "error result of matrix.Solve assigned to blank"
+	n, _ := matrix.Decompose() // want "error result of matrix.Decompose assigned to blank"
+	return n
+}
+
+func handled() (int, error) {
+	if err := matrix.Factor(); err != nil {
+		return 0, fmt.Errorf("factor: %w", err)
+	}
+	n, err := matrix.Decompose()
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Out-of-module callees are not watched.
+func unwatched() {
+	extern.Log()
+	fmt.Println("done")
+}

@@ -1,0 +1,20 @@
+// Package a mirrors the bad worker shapes OUTSIDE internal/solver: the
+// discipline is a solver-package contract, so nothing is flagged here.
+package a
+
+type pool struct{}
+
+func (p *pool) run(total int, fn func(worker, lo, hi int)) { fn(0, 0, total) }
+
+type sim struct {
+	pool  *pool
+	rates []float64
+	calcs uint64
+}
+
+func (s *sim) unflaggedElsewhere(nj int) {
+	s.pool.run(nj, func(w, lo, hi int) {
+		s.calcs += 2
+		s.rates[0] = 1
+	})
+}

@@ -1,0 +1,84 @@
+// Package solver (fixture) models the worker-pool shape of the real
+// rate engine so sharddiscipline's write rules can be exercised.
+package solver
+
+import "sync"
+
+type pool struct {
+	workers int
+	jobs    chan func()
+}
+
+func (p *pool) run(total int, fn func(worker, lo, hi int)) {
+	fn(0, 0, total)
+}
+
+type sim struct {
+	pool        *pool
+	rateFw      []float64
+	rateBw      []float64
+	workerCalcs []uint64
+	rateCalcs   uint64
+	byName      map[string]float64
+	flagged     []int
+}
+
+func (s *sim) computeJunction(j int) { s.rateFw[j] = float64(j) }
+
+// goodRefresh is the sanctioned shape: shard-owned slice slots indexed
+// through the range, per-worker slots indexed by worker id, locals for
+// accumulation, method calls into the audited shard API.
+func (s *sim) goodRefresh(nj int) {
+	s.pool.run(nj, func(w, lo, hi int) {
+		var calcs uint64
+		for j := lo; j < hi; j++ {
+			s.rateFw[j] = float64(j)
+			s.rateBw[j+1-1] = float64(j)
+			s.computeJunction(j)
+			calcs += 2
+		}
+		s.workerCalcs[w] = calcs
+	})
+}
+
+func (s *sim) badRefresh(nj int, shared *float64) {
+	total := 0.0
+	s.pool.run(nj, func(w, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			s.rateCalcs += 2                 // want "write to captured state s.rateCalcs inside pool worker"
+			total += float64(j)              // want "write to captured variable total inside pool worker"
+			s.rateFw[0] = 1                  // want "write to s.rateFw\\[0\\] inside pool worker: index is not derived from the shard range"
+			s.rateBw[s.flagged[j]] = 1       // want "write to s.rateBw\\[s.flagged\\[j\\]\\] inside pool worker: index is not derived from the shard range"
+			s.byName["x"] = float64(j)       // want "write to captured map s.byName inside pool worker"
+			*shared = float64(j)             // want "write through pointer shared inside pool worker"
+			s.flagged = append(s.flagged, j) // want "write to captured state s.flagged inside pool worker"
+		}
+	})
+	_ = total
+}
+
+// capture-then-mutate: the launched goroutine races with the later
+// reassignment of base.
+func launchRace(wg *sync.WaitGroup) {
+	base := 10
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = base
+	}()
+	base = 20 // want "variable base is captured by a goroutine launched at .* and reassigned here"
+	wg.Wait()
+}
+
+// The same launch with no later write is fine.
+func launchClean(wg *sync.WaitGroup) int {
+	base := 10
+	out := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out = base + 1
+	}()
+	wg.Wait()
+	return out
+}

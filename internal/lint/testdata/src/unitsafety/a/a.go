@@ -1,0 +1,27 @@
+// Package a exercises unitsafety outside internal/units: hand-typed
+// physical constants and inline unit-prefix arithmetic are flagged.
+package a
+
+const (
+	e2sloppy = 1.602e-19 // want "raw physical-constant literal 1.602e-19: use units.E"
+	kb       = 1.38e-23  // want "raw physical-constant literal 1.38e-23: use units.KB"
+	planck   = 6.63e-34  // want "raw physical-constant literal 6.63e-34: use units.H"
+	hbar     = 1.055e-34 // want "raw physical-constant literal 1.055e-34: use units.Hbar"
+)
+
+// Values that are merely small are not constants: no findings.
+const (
+	someEnergy = 2.5e-19
+	tolerance  = 1e-9
+	halfLife   = 1.3e-23 * 0 // the multiplier 1.3e-23 is 6% from k_B: clean
+)
+
+func convert(cAF, cFF float64) (float64, float64) {
+	a := cAF * 1e-18 // want "inline unit-prefix literal 1e-18 in arithmetic: use units.Atto"
+	b := cFF / 1e-15 // want "inline unit-prefix literal 1e-15 in arithmetic: use units.Femto"
+	return a, b
+}
+
+// A bare 1e-18 VALUE is a legitimate SI quantity (one attofarad, in
+// farads); only arithmetic conversions are flagged.
+var capacitances = []float64{1e-18, 3e-18, 1e-15}

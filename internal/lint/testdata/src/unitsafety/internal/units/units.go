@@ -1,0 +1,12 @@
+// Package units (fixture) is the canonical home of physical constants:
+// raw literals here are the point, not a violation.
+package units
+
+const (
+	E  = 1.602176634e-19
+	KB = 1.380649e-23
+	H  = 6.62607015e-34
+)
+
+// AF converts attofarads to farads; the prefix literal is allowed here.
+func AF(c float64) float64 { return c * 1e-18 }

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestUnitsafety(t *testing.T) {
+	RunFixture(t, Unitsafety, "unitsafety/a")
+}
+
+func TestUnitsafetyExemptsUnitsPackage(t *testing.T) {
+	RunFixture(t, Unitsafety, "unitsafety/internal/units")
+}

@@ -1,0 +1,47 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzNetlistParse drives the deck parser with arbitrary input. Any
+// input may be rejected with an error, but never a panic; input the
+// parser accepts must survive the canonical round trip: Format output
+// reparses cleanly, formats identically the second time, and Compile
+// either errors or yields a circuit.
+func FuzzNetlistParse(f *testing.F) {
+	f.Add(paperDeck)
+	f.Add("junc 1 1 2 1e-6 1e-18\nvdc 1 0.01\ntemp 1\n")
+	f.Add("# comment only\n\n")
+	f.Add("vac 3 0 0.01 1e9 0.5\nvpwl 2 0 0 1e-9 0.1\njunc 1 2 3 1e-6 1e-18\n")
+	f.Add("junc 1 1 2 1e-6 1e-18\nvdc 1 0.01\nsuper 0.2e-3 1.2\ntemp 0.1\n")
+	f.Add("junc 1 1 2 1e-6 1e-18\nvdc 1 0.02\nsweep 1 0.02 0.0001\nsymm 1\n")
+	f.Add("num j 99\njunc 1 1 2 1e-6 1e-18\n")
+	f.Add("junc x y z\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := d.Format(&first); err != nil {
+			t.Fatalf("formatting a parsed deck failed: %v\ninput:\n%s", err, src)
+		}
+		d2, err := Parse(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reparsing formatted deck failed: %v\nformatted:\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := d2.Format(&second); err != nil {
+			t.Fatalf("reformatting failed: %v", err)
+		}
+		if first.String() != second.String() {
+			t.Errorf("Format is not canonical:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+		if c, err := d.Compile(nil); err == nil && c == nil {
+			t.Error("Compile returned neither circuit nor error")
+		}
+	})
+}

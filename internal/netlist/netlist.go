@@ -168,6 +168,9 @@ func (d *Deck) directive(f []string, ln int) error {
 		if g <= 0 || c <= 0 {
 			return bad("junc %d: conductance and capacitance must be positive", id)
 		}
+		if a == b {
+			return bad("junc %d: endpoints must be distinct nodes", id)
+		}
 		for _, j := range d.juncs {
 			if j.id == id {
 				return bad("junc %d: duplicate junction id", id)
@@ -186,6 +189,9 @@ func (d *Deck) directive(f []string, ln int) error {
 		}
 		if c <= 0 {
 			return bad("cap: capacitance must be positive")
+		}
+		if a == b {
+			return bad("cap: endpoints must be distinct nodes")
 		}
 		d.caps = append(d.caps, capDef{a: a, b: b, c: c})
 	case "charge":

@@ -1,0 +1,17 @@
+package numeric
+
+import "math"
+
+// SameBits reports whether a and b are the same IEEE-754 value,
+// bit for bit. It is the project's sanctioned spelling of float
+// equality (the floateq analyzer flags raw == / != on floats): use it
+// where two floats are equal only if one was copied or identically
+// recomputed from the other — change detection, flat-segment tests,
+// sentinel propagation — and a tolerance where values are merely close.
+//
+// Unlike ==, SameBits distinguishes +0 from -0 and reports NaN equal to
+// an identical NaN, which is exactly the "was this value propagated
+// unchanged" question such call sites are asking.
+func SameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

@@ -12,7 +12,7 @@ import (
 // Simpson quadrature to the given absolute tolerance. The integrand
 // must be finite on the closed interval.
 func Integrate(f func(float64) float64, a, b, tol float64) float64 {
-	if a == b {
+	if SameBits(a, b) {
 		return 0
 	}
 	if b < a {
@@ -109,7 +109,7 @@ func Brent(f func(float64) float64, a, b, tol float64) float64 {
 		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
 			s := fb / fa
 			var p, q float64
-			if a == c {
+			if SameBits(a, c) {
 				p = 2 * xm * s
 				q = 1 - s
 			} else {

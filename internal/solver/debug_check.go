@@ -1,0 +1,127 @@
+package solver
+
+// Runtime invariant checks, active only under the semsimdebug build
+// tag. Every method here is called behind `if invariant.Enabled`, and
+// Enabled is a constant, so in the default build the calls — and the
+// O(islands)/O(channels) work they do — are eliminated at compile time.
+// None of the checks mutates simulator state or statistics: a debug
+// trajectory is bit-identical to a release one.
+
+import (
+	"math"
+
+	"semsim/internal/invariant"
+	"semsim/internal/orthodox"
+)
+
+// islandElectronSum totals the tracked electrons across all islands.
+func (s *Sim) islandElectronSum() int {
+	total := 0
+	for _, ni := range s.n {
+		total += ni
+	}
+	return total
+}
+
+// debugCheckEvent asserts electron conservation for the event just
+// applied: islands gain exactly the carriers that entered from src and
+// lose exactly those that left for dst; external nodes are reservoirs.
+func (s *Sim) debugCheckEvent(ch *channel, preSum int) {
+	want := preSum
+	if s.c.IslandIndex(ch.src) >= 0 {
+		want -= ch.carriers
+	}
+	if s.c.IslandIndex(ch.dst) >= 0 {
+		want += ch.carriers
+	}
+	got := s.islandElectronSum()
+	invariant.Checkf(got == want,
+		"solver: electron conservation violated: island total %d after event on junction %d, want %d",
+		got, ch.junc, want)
+}
+
+// debugCheckFenwick asserts the selection tree is consistent: no staged
+// updates left behind, every channel rate finite and non-negative, and
+// the tree's total within floating-point drift of a naive sum over the
+// value array.
+func (s *Sim) debugCheckFenwick() {
+	f := s.fen
+	invariant.Checkf(len(f.pending) == 0,
+		"solver: selection tree consulted with %d staged updates unflushed", len(f.pending))
+	if len(f.pending) != 0 {
+		return
+	}
+	naive := 0.0
+	valid := true
+	for i, v := range f.vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			invariant.Checkf(false, "solver: channel %d has invalid rate %g", i, v)
+			valid = false
+		}
+		naive += v
+	}
+	if !valid {
+		return
+	}
+	tot := f.total()
+	tol := 1e-9 * (naive + 1)
+	invariant.Checkf(math.Abs(tot-naive) <= tol,
+		"solver: fenwick total %g disagrees with naive sum %g (|diff| %g > tol %g)",
+		tot, naive, math.Abs(tot-naive), tol)
+}
+
+// debugCheckPotentialDrift compares the incrementally maintained island
+// potentials against a fresh matrix solve using the same external
+// voltages, before a full refresh overwrites them. Incremental updates
+// are exact arithmetic, so only rounding-level drift is tolerated; a
+// sign error or wrong C^-1 row shows up at millivolt scale.
+func (s *Sim) debugCheckPotentialDrift() {
+	ni := s.c.NumIslands()
+	if ni == 0 {
+		return
+	}
+	q := s.c.ChargeVector(nil, s.n)
+	fresh := make([]float64, ni)
+	s.c.IslandPotentialsRange(fresh, q, s.vext, 0, ni)
+	maxAbs := 0.0
+	for _, v := range fresh {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tol := 1e-9 * (maxAbs + 1)
+	for k := 0; k < ni; k++ {
+		invariant.Checkf(math.Abs(s.v[k]-fresh[k]) <= tol,
+			"solver: island %d potential drifted: incremental %g, fresh %g (tol %g)",
+			k, s.v[k], fresh[k], tol)
+	}
+}
+
+// debugCheckKernels spot-checks the tabulated normal-state kernel
+// against exact orthodox evaluation at the free-energy changes the
+// refresh just cached. The kernel guarantees relative error below 1e-6
+// inside the tabulated band and evaluates exactly outside it, so 1e-5
+// is generous; rates too small to ever be selected are skipped.
+func (s *Sim) debugCheckKernels() {
+	if s.normK == nil {
+		return
+	}
+	nj := s.c.NumJunctions()
+	stride := nj / 4
+	if stride == 0 {
+		stride = 1
+	}
+	for j := 0; j < nj; j += stride {
+		dw := s.dwFw[j]
+		tab := s.ratePref[j] * s.normK.G(dw*s.invKT)
+		exact := orthodox.Rate(dw, s.c.Junction(j).R, s.opt.Temp)
+		if exact < 1e-100 {
+			invariant.Checkf(tab < 1e-90,
+				"solver: junction %d tabulated rate %g but exact rate vanishes", j, tab)
+			continue
+		}
+		invariant.Checkf(math.Abs(tab-exact) <= 1e-5*exact,
+			"solver: junction %d tabulated rate %g deviates from exact %g beyond 1e-5 relative",
+			j, tab, exact)
+	}
+}

@@ -1,0 +1,46 @@
+//go:build semsimdebug
+
+// Invariant audit of the c432 benchmark deck: the full event loop —
+// adaptive updates, tabulated kernels, input changes, periodic
+// refreshes — must complete with zero recorded violations, on both the
+// serial path and the sharded parallel rate engine.
+package solver_test
+
+import (
+	"runtime"
+	"testing"
+
+	"semsim/internal/bench"
+	"semsim/internal/invariant"
+	"semsim/internal/solver"
+)
+
+func runC432Debug(t *testing.T, parallel int) {
+	t.Helper()
+	invariant.Reset()
+	ex, b := workload(t, "c432")
+	opt := solver.Options{
+		Temp:       bench.WorkloadTemp,
+		Seed:       42,
+		Adaptive:   true,
+		RateTables: true,
+		Parallel:   parallel,
+	}
+	runWorkload(t, ex, b, opt, 4000)
+	if n := invariant.Violations(); n != 0 {
+		t.Fatalf("c432 run (Parallel=%d) recorded %d invariant violations:\n%v",
+			parallel, n, invariant.Messages())
+	}
+}
+
+func TestC432InvariantsSerial(t *testing.T) {
+	runC432Debug(t, 1)
+}
+
+func TestC432InvariantsParallel(t *testing.T) {
+	p := runtime.GOMAXPROCS(0)
+	if p < 2 {
+		p = 2
+	}
+	runC432Debug(t, p)
+}

@@ -212,6 +212,10 @@ type Sim struct {
 	scratch []int
 	flagged []int // junctions flagged this update, recalculated in batch
 
+	// dbgInit arms the potential-drift invariant once the first full
+	// refresh has established a baseline (semsimdebug builds only).
+	dbgInit bool
+
 	stats Stats
 }
 

@@ -4,6 +4,8 @@ import (
 	"math"
 
 	"semsim/internal/cotunnel"
+	"semsim/internal/invariant"
+	"semsim/internal/numeric"
 	"semsim/internal/orthodox"
 	"semsim/internal/super"
 	"semsim/internal/units"
@@ -292,12 +294,22 @@ func (s *Sim) refreshPotentials() {
 // which also clears accumulated floating-point drift from incremental
 // updates.
 func (s *Sim) fullRefresh() {
+	if invariant.Enabled && s.dbgInit {
+		// Audit the incremental potentials against a fresh solve (with
+		// the pre-refresh external voltages) before overwriting them.
+		s.debugCheckPotentialDrift()
+	}
 	s.stats.FullRefreshes++
 	s.vext = s.c.ExternalVoltages(s.vext, s.t)
 	s.refreshPotentials()
 	s.refreshAllJunctions()
 	s.recalcSecondary()
 	s.fen.rebuild()
+	if invariant.Enabled {
+		s.dbgInit = true
+		s.debugCheckKernels()
+		s.debugCheckFenwick()
+	}
 }
 
 // nonAdaptiveUpdate recomputes all rates after an event (potentials are
@@ -368,7 +380,7 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 	vextNew := s.c.ExternalVoltages(nil, s.t)
 	changed := false
 	for i := range vextNew {
-		if vextNew[i] != s.vext[i] {
+		if !numeric.SameBits(vextNew[i], s.vext[i]) {
 			changed = true
 			break
 		}
@@ -385,7 +397,7 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 	}
 	dext := make(map[int]float64)
 	for i, id := range s.c.Externals() {
-		if vextNew[i] != s.vext[i] {
+		if !numeric.SameBits(vextNew[i], s.vext[i]) {
 			dext[id] = vextNew[i] - s.vext[i]
 		}
 	}
@@ -535,6 +547,10 @@ func (s *Sim) Step() (bool, error) {
 	s.t += dt
 	idx := s.fen.find(s.rnd.Float64() * total)
 	ch := &s.chans[idx]
+	var preSum int
+	if invariant.Enabled {
+		preSum = s.islandElectronSum()
+	}
 	s.apply(ch)
 	s.stats.Events++
 	if s.opt.RefreshEvery > 0 && s.stats.Events%uint64(s.opt.RefreshEvery) == 0 {
@@ -543,6 +559,10 @@ func (s *Sim) Step() (bool, error) {
 		s.scratch = s.adaptiveUpdate(ch, s.visited, s.bumpStamp(), s.scratch)
 	} else {
 		s.nonAdaptiveUpdate()
+	}
+	if invariant.Enabled {
+		s.debugCheckEvent(ch, preSum)
+		s.debugCheckFenwick()
 	}
 	s.recordProbes()
 	return true, nil

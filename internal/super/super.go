@@ -99,7 +99,7 @@ func Iqp(v, r, d1, d2, t float64) float64 {
 	sortFloats(pts)
 	isEdge := func(x float64) bool {
 		for _, e := range edges {
-			if x == e {
+			if numeric.SameBits(x, e) {
 				return true
 			}
 		}

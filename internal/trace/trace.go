@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 
+	"semsim/internal/numeric"
 	"semsim/internal/solver"
 )
 
@@ -64,7 +65,7 @@ func CrossingTime(w []solver.Sample, threshold float64, rising bool, after float
 		if !crossed {
 			continue
 		}
-		if b.V == a.V {
+		if numeric.SameBits(b.V, a.V) {
 			return b.T, true
 		}
 		f := (threshold - a.V) / (b.V - a.V)
