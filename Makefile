@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test unit race bench rate-engine experiments quick-experiments fmt vet lint debug fuzz
+.PHONY: all build test unit race bench zero-alloc rate-engine obs-overhead experiments quick-experiments fmt vet lint debug fuzz
 
 all: build test
 
@@ -11,7 +11,7 @@ build:
 # analyzer suite), the full unit suite, the semsimdebug invariant build,
 # then the race detector over the packages with internal concurrency
 # (the within-run parallel rate engine and the sweep/bench fan-outs).
-test: vet lint unit debug race
+test: vet lint unit debug race zero-alloc
 
 unit:
 	go test ./...
@@ -23,7 +23,12 @@ debug:
 	go test -tags semsimdebug ./...
 
 race:
-	go test -race ./internal/solver/... ./internal/sweep/... ./internal/bench/...
+	go test -race ./internal/solver/... ./internal/sweep/... ./internal/bench/... ./internal/obs/...
+
+# Disabled observability must stay literally free: the nil-receiver
+# hooks in the solver hot path are asserted to be 0 allocs/op.
+zero-alloc:
+	go test -run TestObsDisabledZeroAlloc -bench=ObsDisabled -benchmem ./internal/obs/
 
 # One testing.B benchmark per paper figure, plus ablations and
 # per-package microbenchmarks.
@@ -34,6 +39,11 @@ bench:
 # tabulated kernels) -> results/BENCH_rate_engine.json.
 rate-engine:
 	go run ./cmd/experiments rate-engine
+
+# Observability overhead on c432 (obs off vs metrics-only vs full
+# tracing, same seed) -> results/BENCH_obs_overhead.json.
+obs-overhead:
+	go run ./cmd/experiments obs-overhead
 
 # Regenerate every figure of the paper into ./results (see
 # EXPERIMENTS.md). The full run takes hours on one core; use

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|all}
+//	experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|obs-overhead|all}
 //
 // See EXPERIMENTS.md for the mapping to the paper and the measured
 // outcomes.
@@ -17,20 +17,25 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"semsim/internal/obs"
 )
 
 var (
-	outDir   = flag.String("out", "results", "directory for .dat output files")
-	quick    = flag.Bool("quick", false, "cut event budgets, grid sizes and seeds for a fast smoke run")
-	only     = flag.String("only", "", "fig6/fig7: run only the named benchmark")
-	maxJuncs = flag.Int("max-junctions", 0, "fig6/fig7: skip benchmarks larger than this (0 = no limit)")
-	seeds    = flag.Int("seeds", 9, "fig7: number of Monte Carlo seeds to average (paper: 9)")
-	spiceCap = flag.Duration("spice-budget", 2*time.Minute, "fig6/fig7: wall-clock budget per SPICE transient before it is reported as failed")
+	outDir    = flag.String("out", "results", "directory for .dat output files")
+	quick     = flag.Bool("quick", false, "cut event budgets, grid sizes and seeds for a fast smoke run")
+	only      = flag.String("only", "", "fig6/fig7: run only the named benchmark")
+	maxJuncs  = flag.Int("max-junctions", 0, "fig6/fig7: skip benchmarks larger than this (0 = no limit)")
+	seeds     = flag.Int("seeds", 9, "fig7: number of Monte Carlo seeds to average (paper: 9)")
+	spiceCap  = flag.Duration("spice-budget", 2*time.Minute, "fig6/fig7: wall-clock budget per SPICE transient before it is reported as failed")
+	obsAddr   = flag.String("obs-addr", "", "serve live metrics, trace and pprof on this address (e.g. :6060)")
+	traceFile = flag.String("trace", "", "write a Chrome trace_event journal of the run to this file")
+	progress  = flag.Bool("progress", false, "print periodic progress lines to stderr")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|obs-overhead|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,6 +46,11 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
+	stopObs, err := obs.StartCLI(obs.CLIConfig{Addr: *obsAddr, TraceFile: *traceFile, Progress: *progress})
+	if err != nil {
+		fatal(err)
+	}
+	defer stopObs()
 	run := func(name string, f func() error) {
 		fmt.Printf("== %s ==\n", name)
 		start := time.Now()
@@ -66,6 +76,8 @@ func main() {
 		run("ablation", ablation)
 	case "rate-engine":
 		run("rate-engine", rateEngine)
+	case "obs-overhead":
+		run("obs-overhead", obsOverhead)
 	case "all":
 		run("validate", validate)
 		run("fig1b", fig1b)

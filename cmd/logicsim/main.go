@@ -22,16 +22,20 @@ import (
 
 	"semsim"
 	"semsim/internal/bench"
+	"semsim/internal/obs"
 )
 
 var (
-	toggle   = flag.String("toggle", "", "input to step 0 -> Vdd mid-run (default: first input)")
-	high     = flag.String("high", "", "comma-separated inputs tied to logic high")
-	watch    = flag.String("watch", "", "output wire to time (default: first output)")
-	temp     = flag.Float64("temp", bench.WorkloadTemp, "temperature in kelvin")
-	seed     = flag.Uint64("seed", 1, "Monte Carlo seed")
-	adaptive = flag.Bool("adaptive", false, "use the adaptive solver")
-	vcdPath  = flag.String("vcd", "", "write the watched waveform as VCD to this file")
+	toggle    = flag.String("toggle", "", "input to step 0 -> Vdd mid-run (default: first input)")
+	high      = flag.String("high", "", "comma-separated inputs tied to logic high")
+	watch     = flag.String("watch", "", "output wire to time (default: first output)")
+	temp      = flag.Float64("temp", bench.WorkloadTemp, "temperature in kelvin")
+	seed      = flag.Uint64("seed", 1, "Monte Carlo seed")
+	adaptive  = flag.Bool("adaptive", false, "use the adaptive solver")
+	vcdPath   = flag.String("vcd", "", "write the watched waveform as VCD to this file")
+	obsAddr   = flag.String("obs-addr", "", "serve live metrics, trace and pprof on this address (e.g. :6060)")
+	traceFile = flag.String("trace", "", "write a Chrome trace_event journal of the run to this file")
+	progress  = flag.Bool("progress", false, "print periodic progress lines to stderr")
 )
 
 func main() {
@@ -101,6 +105,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	stopObs, err := obs.StartCLI(obs.CLIConfig{
+		Addr: *obsAddr, TraceFile: *traceFile, Progress: *progress,
+		TargetSim: stepAt + bench.ObserveFor,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer stopObs()
 
 	sim, err := semsim.NewSim(ex.Circuit, semsim.Options{Temp: *temp, Seed: *seed, Adaptive: *adaptive})
 	if err != nil {

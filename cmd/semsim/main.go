@@ -20,17 +20,27 @@ import (
 	"sort"
 
 	"semsim"
+	"semsim/internal/obs"
 )
 
 func main() {
 	out := flag.String("o", "", "write results to this file instead of stdout")
 	parallel := flag.Int("parallel", 0, "within-run rate-engine workers (0 = GOMAXPROCS, 1 = serial; bit-identical either way)")
 	rateTables := flag.Bool("rate-tables", false, "evaluate normal-state rates through error-bounded interpolation tables (<1e-6 relative error)")
+	obsAddr := flag.String("obs-addr", "", "serve live metrics, trace and pprof on this address (e.g. :6060)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event journal of the run to this file")
+	progress := flag.Bool("progress", false, "print periodic progress lines to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: semsim [-o out.dat] [-parallel n] [-rate-tables] [input.cir]\n")
+		fmt.Fprintf(os.Stderr, "usage: semsim [-o out.dat] [-parallel n] [-rate-tables] [-obs-addr :6060] [-trace run.json] [-progress] [input.cir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	stopObs, err := obs.StartCLI(obs.CLIConfig{Addr: *obsAddr, TraceFile: *traceFile, Progress: *progress})
+	if err != nil {
+		fatal(err)
+	}
+	defer stopObs()
 
 	var in io.Reader = os.Stdin
 	name := "<stdin>"

@@ -1,6 +1,7 @@
 // Command semsimlint is the project's static-analysis multichecker: it
 // runs the internal/lint passes (detrand, unitsafety, floateq,
-// sharddiscipline, physerr) over the tree and exits non-zero on any
+// sharddiscipline, physerr, obsdiscipline) over the tree and exits
+// non-zero on any
 // finding. See DESIGN.md §7 for the analyzer catalogue.
 //
 // It runs in two modes:

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+
+	"semsim/internal/logicnet"
+	"semsim/internal/obs"
+	"semsim/internal/solver"
+)
+
+// ObsOverheadRun is one timed observability configuration of the
+// overhead benchmark.
+type ObsOverheadRun struct {
+	Mode         string  `json:"mode"` // "off", "metrics", "tracing"
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"` // best of Repeats
+	EventsPerSec float64 `json:"events_per_sec"`
+	// OverheadPct is the events/s cost relative to the "off" run
+	// (positive = slower). The acceptance budget for disabled obs is
+	// < 2%; "off" itself is 0 by definition.
+	OverheadPct float64 `json:"overhead_pct"`
+	// JournalEvents counts journal records for the tracing run.
+	JournalEvents uint64 `json:"journal_events,omitempty"`
+}
+
+// ObsOverheadReport measures what observability costs on a real
+// workload: the same trajectory (same seed — observation is passive, so
+// all three modes execute identical event sequences) timed with obs
+// off, metrics only, and full tracing.
+type ObsOverheadReport struct {
+	Benchmark string           `json:"benchmark"`
+	Junctions int              `json:"junctions"`
+	Events    uint64           `json:"events"`
+	Repeats   int              `json:"repeats"`
+	Runs      []ObsOverheadRun `json:"runs"`
+}
+
+// RunObsOverhead times the adaptive solver on benchmark b for the given
+// event budget under each observability mode, keeping the best wall
+// time of repeats per mode (Monte Carlo kernels are deterministic, so
+// the minimum is the least-noise estimate).
+func RunObsOverhead(b Benchmark, p logicnet.Params, events, seed uint64, repeats int) (*ObsOverheadReport, error) {
+	ex, err := BuildWorkload(b, p)
+	if err != nil {
+		return nil, err
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	rep := &ObsOverheadReport{
+		Benchmark: b.Name,
+		Junctions: ex.Circuit.NumJunctions(),
+		Events:    events,
+		Repeats:   repeats,
+	}
+	modes := []string{"off", "metrics", "tracing"}
+	var baseEvents uint64
+	var basePerSec float64
+	for _, mode := range modes {
+		run := ObsOverheadRun{Mode: mode}
+		var lastObs *obs.Observer
+		for r := 0; r < repeats; r++ {
+			opt := solver.Options{
+				Temp:       WorkloadTemp,
+				Seed:       seed,
+				Adaptive:   true,
+				RateTables: true,
+				Parallel:   1,
+			}
+			switch mode {
+			case "metrics":
+				opt.Obs = obs.New(obs.Config{})
+			case "tracing":
+				opt.Obs = obs.New(obs.Config{Trace: true, TraceCap: 1 << 16})
+			}
+			lastObs = opt.Obs
+			res, err := TimeSolverOn(ex, opt, events, 0)
+			if err != nil {
+				return nil, err
+			}
+			if run.Events == 0 {
+				run.Events = res.Events
+			}
+			if w := res.Wall.Seconds(); run.WallSeconds == 0 || w < run.WallSeconds {
+				run.WallSeconds = w
+			}
+		}
+		if run.WallSeconds > 0 {
+			run.EventsPerSec = float64(run.Events) / run.WallSeconds
+		}
+		if mode == "off" {
+			baseEvents, basePerSec = run.Events, run.EventsPerSec
+		} else {
+			// Passive-observation sanity check: every mode must execute
+			// the exact same trajectory.
+			if run.Events != baseEvents {
+				return nil, fmt.Errorf("bench: obs mode %q changed the trajectory (%d events vs %d)",
+					mode, run.Events, baseEvents)
+			}
+			if basePerSec > 0 {
+				run.OverheadPct = 100 * (basePerSec - run.EventsPerSec) / basePerSec
+			}
+		}
+		if lastObs != nil && lastObs.Tracing() {
+			run.JournalEvents = lastObs.Journal().Total()
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	return rep, nil
+}

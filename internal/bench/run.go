@@ -8,6 +8,7 @@ import (
 
 	"semsim/internal/circuit"
 	"semsim/internal/logicnet"
+	"semsim/internal/obs"
 	"semsim/internal/solver"
 	"semsim/internal/trace"
 )
@@ -76,6 +77,7 @@ func MeasureDelay(b Benchmark, p logicnet.Params, opt solver.Options) (DelayResu
 // paid once across seeds and solvers. The expanded circuit is read-only
 // during simulation and safe to share between concurrent runs.
 func MeasureDelayOn(ex *logicnet.Expanded, b Benchmark, opt solver.Options) (DelayResult, error) {
+	defer obs.GlobalSpan("bench.measureDelay").End()
 	s, err := solver.New(ex.Circuit, opt)
 	if err != nil {
 		return DelayResult{}, err
@@ -181,6 +183,7 @@ func TimeSolver(b Benchmark, p logicnet.Params, opt solver.Options, maxEvents ui
 
 // TimeSolverOn is TimeSolver against a pre-built workload.
 func TimeSolverOn(ex *logicnet.Expanded, opt solver.Options, maxEvents uint64, maxTime float64) (TimingResult, error) {
+	defer obs.GlobalSpan("bench.timeSolver").End()
 	s, err := solver.New(ex.Circuit, opt)
 	if err != nil {
 		return TimingResult{}, err

@@ -77,6 +77,7 @@ func All() []*Analyzer {
 		Floateq,
 		Sharddiscipline,
 		Physerr,
+		Obsdiscipline,
 	}
 }
 

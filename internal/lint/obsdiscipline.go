@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Obsdiscipline keeps the simulator hot path quiet. The inner Monte
+// Carlo loop runs millions of events per second; a stray fmt.Printf or
+// log.Printf left over from debugging serializes every worker on a
+// global mutex, floods the terminal, and — worst — perturbs timing
+// enough to mask the races the determinism tests exist to catch. All
+// run-time reporting from hot packages flows through internal/obs
+// (counters, the event journal, progress lines), which is asynchronous,
+// allocation-free when disabled, and off by default.
+//
+// In the hot packages the pass flags:
+//
+//   - direct terminal printing: fmt.Print/Printf/Println, and
+//     fmt.Fprint* when the writer is os.Stdout or os.Stderr;
+//   - any use of the log and log/slog packages (flagged at the import,
+//     so stored loggers cannot slip through);
+//   - the print/println built-ins, which are debug leftovers by
+//     definition.
+//
+// fmt.Sprintf, fmt.Errorf and fmt.Fprint* into buffers or files stay
+// legal: formatting values and writing result artifacts are not
+// terminal chatter. Packages outside the hot set (CLIs, bench, the
+// experiment drivers) print freely.
+var Obsdiscipline = &Analyzer{
+	Name: "obsdiscipline",
+	Doc:  "forbid terminal printing and the log package in hot simulator packages (report through internal/obs)",
+	Run:  runObsdiscipline,
+}
+
+// obsHotPkgs are the package path suffixes forming the simulator hot
+// path: everything executed per event, per rate calculation or per
+// sweep point. internal/obs itself is deliberately absent — it is the
+// sanctioned output layer.
+var obsHotPkgs = []string{
+	"internal/solver",
+	"internal/circuit",
+	"internal/master",
+	"internal/cotunnel",
+	"internal/super",
+	"internal/orthodox",
+	"internal/numeric",
+	"internal/sweep",
+}
+
+func runObsdiscipline(pass *Pass) error {
+	if !pathHasSuffixAny(pass.Path, obsHotPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "log" || p == "log/slog" {
+				pass.Reportf(imp.Pos(), "import of %s in hot simulator package: report through internal/obs instead", p)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkObsCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkObsCall(pass *Pass, call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if id.Name == "print" || id.Name == "println" {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				pass.Reportf(call.Pos(), "%s built-in in hot simulator package: debug output must go through internal/obs", id.Name)
+			}
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "fmt":
+		switch obj.Name() {
+		case "Print", "Printf", "Println":
+			pass.Reportf(call.Pos(), "fmt.%s in hot simulator package: report through internal/obs instead", obj.Name())
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && isStdStream(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(), "fmt.%s to a terminal stream in hot simulator package: report through internal/obs instead", obj.Name())
+			}
+		}
+	case "log", "log/slog":
+		pass.Reportf(call.Pos(), "%s.%s in hot simulator package: report through internal/obs instead", obj.Pkg().Name(), obj.Name())
+	}
+}
+
+// isStdStream reports whether e resolves to os.Stdout or os.Stderr.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestObsdiscipline(t *testing.T) {
+	RunFixture(t, Obsdiscipline, "obsdiscipline/internal/solver")
+}
+
+func TestObsdisciplineOnlyFiresInHotPackages(t *testing.T) {
+	RunFixture(t, Obsdiscipline, "obsdiscipline/a")
+}

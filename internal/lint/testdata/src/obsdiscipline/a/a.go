@@ -1,0 +1,16 @@
+// Package a mirrors the same output shapes OUTSIDE the hot set: CLIs
+// and experiment drivers print freely, so nothing is flagged here.
+package a
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func report(ev int) {
+	fmt.Printf("event %d\n", ev)
+	fmt.Fprintln(os.Stderr, "progress")
+	log.Printf("event %d", ev)
+	println("debug")
+}

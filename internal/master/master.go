@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"semsim/internal/circuit"
+	"semsim/internal/obs"
 	"semsim/internal/orthodox"
 	"semsim/internal/super"
 	"semsim/internal/units"
@@ -46,6 +47,7 @@ type Result struct {
 // sense here. Superconducting circuits use the quasi-particle rate
 // (first order only; no Cooper-pair or cotunneling contributions).
 func Solve(c *circuit.Circuit, temp float64, nmin, nmax int) (*Result, error) {
+	defer obs.GlobalSpan("master.solve").End()
 	if c.NumIslands() != 1 {
 		return nil, fmt.Errorf("master: need exactly 1 island, have %d", c.NumIslands())
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"semsim/internal/circuit"
+	"semsim/internal/obs"
 	"semsim/internal/orthodox"
 	"semsim/internal/units"
 )
@@ -41,6 +42,7 @@ type ResultN struct {
 // The state count is (2*radius+1)^islands: this is practical for a few
 // islands only, by design of the method.
 func SolveN(c *circuit.Circuit, temp float64, radius int) (*ResultN, error) {
+	defer obs.GlobalSpan("master.solveN").End()
 	if c.Super().Superconducting() {
 		return nil, errors.New("master: SolveN supports normal-state circuits only")
 	}

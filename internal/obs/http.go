@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+)
+
+// Server is a live observability endpoint for long runs: metric
+// snapshots, the trace journal in Chrome trace_event form, the
+// per-junction recompute heatmap, and the standard net/http/pprof
+// profiling handlers, all on one address.
+type Server struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP observability endpoint for o on addr and
+// returns once the listener is bound. Routes:
+//
+//	/metrics        registry snapshot (JSON)
+//	/trace          journal in Chrome trace_event format (load in
+//	                chrome://tracing or https://ui.perfetto.dev)
+//	/heatmap        per-junction recompute counts (JSON)
+//	/debug/pprof/   live CPU/heap/block profiles
+func Serve(addr string, o *Observer) (*Server, error) {
+	if o == nil {
+		return nil, fmt.Errorf("obs: Serve needs a non-nil Observer")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>semsim observability</h1><ul>
+<li><a href="/metrics">/metrics</a> — registry snapshot (JSON)</li>
+<li><a href="/trace">/trace</a> — Chrome trace_event journal (open in chrome://tracing or ui.perfetto.dev)</li>
+<li><a href="/heatmap">/heatmap</a> — per-junction recompute counts (JSON)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — live profiling</li>
+</ul></body></html>`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.Registry().WriteJSON(w); err != nil {
+			// The client hung up mid-response; nothing to clean up.
+			return
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		j := o.Journal()
+		if j == nil {
+			http.Error(w, "tracing not enabled (run with tracing on)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := j.WriteChromeTrace(w); err != nil {
+			// The client hung up mid-response; nothing to clean up.
+			return
+		}
+	})
+	mux.HandleFunc("/heatmap", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeHeatmapJSON(w, o.Heatmap())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	o.Registry().GaugeFunc("runtime.goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Heatmap returns a copy of the per-junction recompute counts
+// accumulated by Recomputed (nil-safe).
+func (o *Observer) Heatmap() []uint32 {
+	if o == nil {
+		return nil
+	}
+	o.heatMu.Lock()
+	defer o.heatMu.Unlock()
+	return append([]uint32(nil), o.heat...)
+}
+
+// HeatmapSummary condenses the recompute heatmap into the numbers the
+// adaptivity claim rests on: how concentrated the recomputation was.
+type HeatmapSummary struct {
+	Junctions  int     `json:"junctions"`
+	Total      uint64  `json:"total_recomputes"`
+	Max        uint32  `json:"max"`
+	MaxJunc    int     `json:"max_junction"`
+	NonZero    int     `json:"nonzero_junctions"`
+	P50        uint32  `json:"p50"`
+	P90        uint32  `json:"p90"`
+	Top10Share float64 `json:"top10pct_share"` // fraction of recomputes on the hottest 10% of junctions
+}
+
+// SummarizeHeatmap computes concentration statistics over per-junction
+// recompute counts.
+func SummarizeHeatmap(heat []uint32) HeatmapSummary {
+	s := HeatmapSummary{Junctions: len(heat), MaxJunc: -1}
+	if len(heat) == 0 {
+		return s
+	}
+	sorted := append([]uint32(nil), heat...)
+	for j, c := range heat {
+		s.Total += uint64(c)
+		if c > 0 {
+			s.NonZero++
+		}
+		if c > s.Max {
+			s.Max, s.MaxJunc = c, j
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.P50 = sorted[len(sorted)/2]
+	s.P90 = sorted[len(sorted)*9/10]
+	if s.Total > 0 {
+		topN := (len(sorted) + 9) / 10
+		var top uint64
+		for _, c := range sorted[len(sorted)-topN:] {
+			top += uint64(c)
+		}
+		s.Top10Share = float64(top) / float64(s.Total)
+	}
+	return s
+}
+
+func writeHeatmapJSON(w http.ResponseWriter, heat []uint32) {
+	sum := SummarizeHeatmap(heat)
+	fmt.Fprintf(w, `{"summary":{"junctions":%d,"total_recomputes":%d,"max":%d,"max_junction":%d,"nonzero_junctions":%d,"p50":%d,"p90":%d,"top10pct_share":%.4f},"counts":[`,
+		sum.Junctions, sum.Total, sum.Max, sum.MaxJunc, sum.NonZero, sum.P50, sum.P90, sum.Top10Share)
+	for i, c := range heat {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprintf(w, "%d", c)
+	}
+	fmt.Fprint(w, "]}\n")
+}

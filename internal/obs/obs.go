@@ -1,0 +1,267 @@
+// Package obs is the observability layer of the simulator: a metrics
+// registry (counters, gauges, fixed-bucket histograms), a low-overhead
+// structured run journal exportable to the Chrome trace_event format, a
+// span API for phase timing, a periodic progress reporter, and an
+// optional HTTP endpoint serving metric snapshots plus net/http/pprof
+// for live profiling of long runs. Everything is standard library only.
+//
+// The design contract is that observability is free when off and
+// passive when on:
+//
+//   - every recording method is declared on *Observer with a nil-receiver
+//     fast path, so disabled code paths cost one predictable branch and
+//     zero allocations (proved by the ObsDisabled benchmarks);
+//   - recording never touches simulator state, random streams or
+//     floating-point inputs, so instrumented trajectories are
+//     bit-identical to uninstrumented ones (asserted by the solver's
+//     determinism tests, serial and parallel).
+//
+// One Observer may be shared by concurrent simulations (a sweep, a
+// multi-seed delay measurement): counters and gauges are atomics, the
+// journal and heatmap are lock-guarded. Tracing interleaves events from
+// all sharers; per-run journals need per-run Observers.
+package obs
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects the observability features of an Observer. The zero
+// value enables metrics only.
+type Config struct {
+	// Trace enables the structured event journal.
+	Trace bool
+	// TraceCap bounds the in-memory journal ring (default 1 << 16
+	// events); older events are overwritten.
+	TraceCap int
+	// TraceJSONL, when non-nil, additionally receives every journal
+	// event as one JSON line (unbounded; the caller owns the writer).
+	TraceJSONL io.Writer
+}
+
+// Observer is the per-process (or per-run) observability handle. A nil
+// *Observer is valid and turns every method into a cheap no-op.
+type Observer struct {
+	reg     *Registry
+	journal *Journal
+	epoch   time.Time
+
+	// Pre-resolved metric handles for the hot paths.
+	events         *Counter
+	cotunnelEvents *Counter
+	cooperEvents   *Counter
+	rateCalcs      *Counter
+	refreshes      *Counter
+	inputChanges   *Counter
+	tested         *Counter
+	flagged        *Counter
+	recomputes     *Counter
+	rebuilds       *Counter
+	simTime        *Gauge
+	dissipated     *Gauge
+	spillHist      *Histogram
+	flushHist      *Histogram
+
+	heatMu sync.Mutex
+	heat   []uint32
+}
+
+// New creates an Observer with a fresh registry.
+func New(cfg Config) *Observer {
+	o := &Observer{reg: NewRegistry(), epoch: time.Now()}
+	if cfg.Trace {
+		capN := cfg.TraceCap
+		if capN <= 0 {
+			capN = 1 << 16
+		}
+		o.journal = NewJournal(capN, cfg.TraceJSONL)
+	}
+	o.events = o.reg.Counter("solver.events")
+	o.cotunnelEvents = o.reg.Counter("solver.cotunnel_events")
+	o.cooperEvents = o.reg.Counter("solver.cooper_events")
+	o.rateCalcs = o.reg.Counter("solver.rate_calcs")
+	o.refreshes = o.reg.Counter("solver.full_refreshes")
+	o.inputChanges = o.reg.Counter("solver.input_changes")
+	o.tested = o.reg.Counter("solver.adaptive_tested")
+	o.flagged = o.reg.Counter("solver.adaptive_flagged")
+	o.recomputes = o.reg.Counter("solver.adaptive_recomputes")
+	o.rebuilds = o.reg.Counter("solver.fenwick_rebuilds")
+	o.simTime = o.reg.Gauge("solver.sim_time_s")
+	o.dissipated = o.reg.Gauge("solver.dissipated_j")
+	// Fan-out sizes: 1 .. 32768 in powers of two.
+	fanout := ExpBuckets(1, 2, 16)
+	o.spillHist = o.reg.Histogram("solver.adaptive_spill_size", fanout)
+	o.flushHist = o.reg.Histogram("solver.fenwick_flush_batch", fanout)
+	return o
+}
+
+// Registry exposes the observer's metric registry (nil-safe; returns
+// nil when disabled).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Journal exposes the trace journal, or nil when tracing is off.
+func (o *Observer) Journal() *Journal {
+	if o == nil {
+		return nil
+	}
+	return o.journal
+}
+
+// Tracing reports whether the event journal is enabled. Call sites that
+// would compute trace-only detail (per-junction test decisions) guard
+// on it.
+func (o *Observer) Tracing() bool { return o != nil && o.journal != nil }
+
+// wall returns nanoseconds since the observer was created.
+func (o *Observer) wall() int64 { return int64(time.Since(o.epoch)) }
+
+// --- Solver hot-path hooks (all nil-safe, allocation-free) ---
+
+// Event records one applied tunnel event: kind is the journal kind
+// (KindTunnel/KindCotunnel/KindCooper), junc the primary junction, simT
+// the post-event simulated time, and dw the free-energy change (its
+// negation accumulates into the dissipated-energy gauge).
+func (o *Observer) Event(kind Kind, junc int, simT, dw float64) {
+	if o == nil {
+		return
+	}
+	o.events.Add(1)
+	switch kind {
+	case KindCotunnel:
+		o.cotunnelEvents.Add(1)
+	case KindCooper:
+		o.cooperEvents.Add(1)
+	}
+	o.simTime.Set(simT)
+	o.dissipated.Add(-dw)
+	if o.journal != nil {
+		o.journal.Record(Event{Kind: kind, Junc: int32(junc), Sim: simT, V1: dw, Wall: o.wall()})
+	}
+}
+
+// RateCalcs accumulates a batch of channel-rate evaluations.
+func (o *Observer) RateCalcs(n uint64) {
+	if o == nil {
+		return
+	}
+	o.rateCalcs.Add(n)
+}
+
+// AdaptiveTest records one testing-factor decision (journal only; the
+// solver guards calls with Tracing so the detail is free when the
+// journal is off). b is e*|b(i)| in joules, thr the recompute threshold
+// alpha*min(|dW'|), depth the BFS spill depth of the tested junction.
+func (o *Observer) AdaptiveTest(junc int, b, thr float64, flagged bool, depth int, simT float64) {
+	if o == nil || o.journal == nil {
+		return
+	}
+	a := int32(0)
+	if flagged {
+		a = 1
+	}
+	o.journal.Record(Event{Kind: KindAdaptiveTest, Junc: int32(junc), A: a, B: int32(depth),
+		Sim: simT, V1: b, V2: thr, Wall: o.wall()})
+}
+
+// Adaptive summarizes one adaptive update after an event on junction
+// junc: tested junctions reached by the spill, flagged junctions
+// recomputed.
+func (o *Observer) Adaptive(junc, tested, flagged int, simT float64) {
+	if o == nil {
+		return
+	}
+	o.tested.Add(uint64(tested))
+	o.flagged.Add(uint64(flagged))
+	o.spillHist.Observe(float64(tested))
+	if o.journal != nil {
+		o.journal.Record(Event{Kind: KindAdaptive, Junc: int32(junc),
+			A: int32(tested), B: int32(flagged), Sim: simT, Wall: o.wall()})
+	}
+}
+
+// Recomputed accumulates the per-junction recompute heatmap — the
+// visual counterpart of the paper's adaptivity claim: recomputation
+// should concentrate on the junctions near activity, not spread
+// uniformly.
+func (o *Observer) Recomputed(juncs []int) {
+	if o == nil || len(juncs) == 0 {
+		return
+	}
+	o.recomputes.Add(uint64(len(juncs)))
+	o.heatMu.Lock()
+	for _, j := range juncs {
+		for j >= len(o.heat) {
+			o.heat = append(o.heat, 0)
+		}
+		o.heat[j]++
+	}
+	o.heatMu.Unlock()
+}
+
+// FullRefresh records a periodic full-refresh boundary.
+func (o *Observer) FullRefresh(simT float64) {
+	if o == nil {
+		return
+	}
+	o.refreshes.Add(1)
+	o.simTime.Set(simT)
+	if o.journal != nil {
+		o.journal.Record(Event{Kind: KindRefresh, Sim: simT, Wall: o.wall()})
+	}
+}
+
+// InputChange records a source-voltage change boundary and how many
+// junctions it flagged for recomputation.
+func (o *Observer) InputChange(flagged int, simT float64) {
+	if o == nil {
+		return
+	}
+	o.inputChanges.Add(1)
+	if o.journal != nil {
+		o.journal.Record(Event{Kind: KindInputChange, A: int32(flagged), Sim: simT, Wall: o.wall()})
+	}
+}
+
+// FenwickFlush records one selection-tree flush: the staged batch size
+// and whether the flush chose a bulk rebuild over point updates.
+func (o *Observer) FenwickFlush(batch int, rebuilt bool, simT float64) {
+	if o == nil || batch == 0 {
+		return
+	}
+	o.flushHist.Observe(float64(batch))
+	if rebuilt {
+		o.rebuilds.Add(1)
+	}
+	if o.journal != nil {
+		b := int32(0)
+		if rebuilt {
+			b = 1
+		}
+		o.journal.Record(Event{Kind: KindFenwick, A: int32(batch), B: b, Sim: simT, Wall: o.wall()})
+	}
+}
+
+// --- Global observer ---
+
+// The process-wide observer: nil (disabled) unless a CLI or test
+// installs one with SetGlobal. Subsystems without explicit plumbing
+// (master solves, sweep drivers, solver runs whose Options carry no
+// Observer) fall back to it, so `-obs-addr` on any CLI instruments the
+// whole stack without threading a handle through every call.
+var global atomic.Pointer[Observer]
+
+// SetGlobal installs (or, with nil, removes) the process-wide observer.
+func SetGlobal(o *Observer) { global.Store(o) }
+
+// Global returns the process-wide observer, or nil when none is
+// installed. The nil result is directly usable: every Observer method
+// no-ops on a nil receiver.
+func Global() *Observer { return global.Load() }

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress periodically reports run progress — events simulated,
+// event rate, simulated time and (when a target simulated time is
+// known) percent complete with an ETA — to a writer, typically stderr.
+// It samples the observer's counters from its own goroutine, so it adds
+// nothing to the simulation hot path; samples are also journaled as
+// KindProgress events when tracing, which export as a counter track in
+// the Chrome trace.
+type Progress struct {
+	o      *Observer
+	w      io.Writer
+	target float64 // target simulated time (s); 0 = unknown
+	stop   chan struct{}
+	done   sync.WaitGroup
+
+	mu         sync.Mutex
+	lastEvents uint64
+	lastAt     time.Time
+}
+
+// StartProgress begins periodic reporting on w every interval.
+// targetSimTime, when > 0, enables percentage and ETA estimates
+// (simulated-time progress is the honest meter here: event cost varies,
+// but a run ends at a known simulated time). Nil-safe: with a nil
+// observer it returns a nil *Progress whose Stop no-ops.
+func StartProgress(o *Observer, w io.Writer, interval time.Duration, targetSimTime float64) *Progress {
+	if o == nil || w == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	p := &Progress{o: o, w: w, target: targetSimTime, stop: make(chan struct{}), lastAt: time.Now()}
+	p.done.Add(1)
+	go func() {
+		defer p.done.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.report()
+			}
+		}
+	}()
+	return p
+}
+
+// Stop halts reporting and emits one final line (nil-safe).
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	p.done.Wait()
+	p.report()
+}
+
+func (p *Progress) report() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	events := p.o.events.Value()
+	simT := p.o.simTime.Value()
+	dt := now.Sub(p.lastAt).Seconds()
+	var rate float64
+	if dt > 0 {
+		rate = float64(events-p.lastEvents) / dt
+	}
+	p.lastEvents, p.lastAt = events, now
+
+	line := fmt.Sprintf("obs: %s events  %s ev/s  sim %.4g s", groupDigits(events), fmtRate(rate), simT)
+	if p.target > 0 && simT > 0 {
+		frac := simT / p.target
+		if frac > 1 {
+			frac = 1
+		}
+		line += fmt.Sprintf("  %5.1f%%", 100*frac)
+		if frac > 0 && frac < 1 {
+			// ETA assumes simulated time advances at its average pace.
+			elapsed := now.Sub(p.o.epoch).Seconds()
+			remain := elapsed * (1 - frac) / frac
+			line += fmt.Sprintf("  eta %s", time.Duration(remain*float64(time.Second)).Round(time.Second))
+		}
+	}
+	fmt.Fprintln(p.w, line)
+	if j := p.o.journal; j != nil {
+		j.Record(Event{Kind: KindProgress, Sim: simT, V1: float64(events), V2: rate, Wall: p.o.wall()})
+	}
+}
+
+// groupDigits renders n with thousands separators (1234567 → 1,234,567).
+func groupDigits(n uint64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var out []byte
+	lead := len(s) % 3
+	if lead > 0 {
+		out = append(out, s[:lead]...)
+	}
+	for i := lead; i < len(s); i += 3 {
+		if len(out) > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, s[i:i+3]...)
+	}
+	return string(out)
+}
+
+// fmtRate renders an event rate compactly (1.23M, 456k, 789).
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a named collection of counters, gauges and histograms.
+// Registration is get-or-create by name, so independent subsystems
+// (solver runs, sweep drivers, span timers) can share one registry
+// without coordinating; all metric operations are lock-free atomics and
+// safe for concurrent use. A Registry is snapshottable as JSON at any
+// time, including mid-run.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	funcs  map[string]func() float64
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		funcs:  map[string]func() float64{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a last-value float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add accumulates v (compare-and-swap loop; gauges used as float
+// accumulators, e.g. dissipated energy, stay exact under concurrency).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: bounds are upper bucket
+// edges (ascending), with an implicit +Inf overflow bucket. Observation
+// is a binary search plus three atomic adds — cheap enough for
+// per-refresh and per-flush call sites, and allocation-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	n      atomic.Uint64
+	sum    Gauge
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// ExpBuckets builds n exponential bucket bounds start, start*factor, …
+// — the natural shape for latencies in nanoseconds and fan-out sizes.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback sampled at snapshot time (for values
+// owned elsewhere, e.g. goroutine counts). Re-registering a name
+// replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"` // upper bucket edges; +Inf implicit
+	Buckets []uint64  `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric, JSON-serializable
+// with deterministic (sorted) key order.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counts)),
+		Gauges:     make(map[string]float64, len(r.gauges)+len(r.funcs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.funcs {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.bounds...),
+		}
+		hs.Buckets = make([]uint64, len(h.counts))
+		for i := range h.counts {
+			hs.Buckets[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the current snapshot as indented JSON
+// (encoding/json sorts map keys, so the output is stable).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

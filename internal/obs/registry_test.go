@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter not get-or-create")
+	}
+
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Add(2.25)
+	if got := g.Value(); got != 3.75 {
+		t.Fatalf("gauge = %v, want 3.75", got)
+	}
+	if r.Gauge("g") != g {
+		t.Fatal("Gauge not get-or-create")
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	// Gauge.Add is a CAS loop; concurrent adders must not lose updates.
+	var g Gauge
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("concurrent gauge adds = %v, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %v, want 106", h.Sum())
+	}
+	snap := r.Snapshot().Histograms["h"]
+	// SearchFloat64s puts v == bound into that bound's bucket.
+	want := []uint64{2, 1, 1, 0, 1}
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, snap.Buckets[i], w, snap.Buckets)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events").Add(42)
+	r.Gauge("t").Set(1e-9)
+	r.GaugeFunc("fn", func() float64 { return 2.5 })
+	r.Histogram("lat", ExpBuckets(1, 10, 3)).Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v\n%s", err, sb.String())
+	}
+	if snap.Counters["events"] != 42 || snap.Gauges["t"] != 1e-9 || snap.Gauges["fn"] != 2.5 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+	if h := snap.Histograms["lat"]; h.Count != 1 || h.Sum != 5 || len(h.Buckets) != 4 {
+		t.Fatalf("histogram snapshot mismatch: %+v", snap.Histograms["lat"])
+	}
+
+	// Stable output: two encodes of the same state are byte-identical.
+	var sb2 strings.Builder
+	if err := r.WriteJSON(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatal("snapshot JSON is not deterministic")
+	}
+}
+
+func TestGaugeNegativeAndNaN(t *testing.T) {
+	var g Gauge
+	g.Set(-1.25)
+	if g.Value() != -1.25 {
+		t.Fatalf("negative gauge = %v", g.Value())
+	}
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Fatalf("inf gauge = %v", g.Value())
+	}
+}

@@ -72,9 +72,23 @@ func (s *Sim) Restore(cp *Checkpoint) error {
 	copy(s.evBw, cp.EvBw)
 	copy(s.evCoop, cp.EvCoop)
 	s.measStart = cp.MeasStart
-	s.stats = cp.Stats
+	// Probe decimation clocks may hold timestamps from after the
+	// checkpoint (or from a different run); reset them so sampling
+	// resumes immediately at the restored time instead of waiting for
+	// the clock to catch up.
+	for node := range s.lastProbe {
+		s.lastProbe[node] = -1
+	}
+	// The electron configuration just changed under the solver, so the
+	// incremental potentials are stale by construction — disarm the
+	// drift invariant until the refresh below re-establishes a baseline.
+	s.dbgInit = false
 	// Rebuild all derived state (potentials, rates, selection tree) for
-	// the restored configuration.
+	// the restored configuration. The refresh happens before the stats
+	// are installed so its own work (one full refresh, O(channels) rate
+	// evaluations) is not billed to the restored counters: a restored
+	// Stats must equal the checkpointed Stats exactly.
 	s.fullRefresh()
+	s.stats = cp.Stats
 	return nil
 }

@@ -1,0 +1,73 @@
+//go:build semsimdebug
+
+package solver
+
+import (
+	"testing"
+
+	"semsim/internal/circuit"
+	"semsim/internal/invariant"
+)
+
+// Restore rewrites the electron configuration under the solver, so the
+// incremental potentials are stale by construction when the rebuild
+// refresh runs. The potential-drift invariant must be disarmed across
+// that refresh — restoring into a Sim whose trajectory diverged from
+// the checkpoint used to record a spurious drift violation.
+func TestRestoreNoSpuriousDriftViolation(t *testing.T) {
+	c, _ := circuit.NewSET(circuit.SETConfig{
+		R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+		Vs: 0.02, Vd: -0.02, Vg: 0.005,
+	})
+	mk := func(seed uint64) *Sim {
+		s, err := New(c, Options{Temp: 5, Seed: seed, Adaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := mk(31)
+	if _, err := a.Run(1501, 0); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	invariant.Reset()
+	// Walk a second sim along different trajectories until its island
+	// occupation differs from the checkpoint's, then restore: the drift
+	// check would now compare potentials of two different configurations
+	// if it stayed armed.
+	restoredWithDifferentN := false
+	for seed := uint64(1); seed <= 20 && !restoredWithDifferentN; seed++ {
+		b := mk(seed)
+		if _, err := b.Run(100, 0); err != nil {
+			t.Fatal(err)
+		}
+		differs := false
+		for i, n := range b.n {
+			if n != cp.Electrons[i] {
+				differs = true
+				break
+			}
+		}
+		if !differs {
+			continue
+		}
+		restoredWithDifferentN = true
+		if err := b.Restore(cp); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Run(200, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !restoredWithDifferentN {
+		t.Fatal("no trial sim reached a different electron configuration; test needs retuning")
+	}
+	if n := invariant.Violations(); n != 0 {
+		t.Fatalf("restore recorded %d invariant violations:\n%v", n, invariant.Messages())
+	}
+}

@@ -94,3 +94,88 @@ func TestRestoreValidation(t *testing.T) {
 		t.Fatal("corrupt RNG state accepted")
 	}
 }
+
+// A checkpoint's Stats must restore exactly: the fullRefresh Restore
+// performs to rebuild derived state is maintenance, not simulated work,
+// and must not be billed to the restored counters (it used to inflate
+// FullRefreshes and RateCalcs).
+func TestRestoreStatsExact(t *testing.T) {
+	c, _ := circuit.NewSET(circuit.SETConfig{
+		R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+		Vs: 0.02, Vd: -0.02, Vg: 0.005,
+	})
+	a, err := New(c, Options{Temp: 5, Seed: 99, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(2000, 0); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := New(c, Options{Temp: 5, Seed: 1, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(123, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats() != cp.Stats {
+		t.Fatalf("restored stats drifted from the checkpoint:\nrestored:   %+v\ncheckpoint: %+v", b.Stats(), cp.Stats)
+	}
+	// And restoring in place must behave the same.
+	if err := a.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() != cp.Stats {
+		t.Fatalf("in-place restored stats drifted:\nrestored:   %+v\ncheckpoint: %+v", a.Stats(), cp.Stats)
+	}
+}
+
+// Restoring to an earlier time must also rewind the probe decimation
+// clocks: they used to keep post-checkpoint timestamps, silently
+// dropping every waveform sample until the rerun caught up with the
+// abandoned future.
+func TestRestoreResetsProbeClocks(t *testing.T) {
+	c, _ := circuit.NewSET(circuit.SETConfig{
+		R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+		Vs: 0.02, Vd: -0.02, Vg: 0.005,
+	})
+	island := c.Islands()[0]
+	s, err := New(c, Options{Temp: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddProbe(island)
+	if _, err := s.Run(500, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Size the decimation interval from the trajectory so ~10 events
+	// pass per sample, then run onward so the probe clock advances well
+	// past the checkpoint time.
+	s.opt.ProbeInterval = s.Time() / 50
+	cp, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(2000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	before := len(s.Waveform(island))
+	if _, err := s.Run(300, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := len(s.Waveform(island))
+	if after <= before {
+		t.Fatalf("no waveform samples after restore (%d before, %d after): probe clocks kept future timestamps", before, after)
+	}
+}

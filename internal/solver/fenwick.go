@@ -96,14 +96,17 @@ func (f *fenwick) stage(i int, v float64) {
 }
 
 // flush commits the staged batch: incremental O(k log n) point updates
-// for small batches, a bulk O(n) rebuild once that would be slower.
-func (f *fenwick) flush() {
-	if len(f.pending) == 0 {
-		return
+// for small batches, a bulk O(n) rebuild once that would be slower. It
+// reports the batch size and which strategy it chose (observability
+// input; callers that don't care ignore the results).
+func (f *fenwick) flush() (batch int, rebuilt bool) {
+	batch = len(f.pending)
+	if batch == 0 {
+		return 0, false
 	}
-	if len(f.pending)*f.log2 >= f.n {
+	if batch*f.log2 >= f.n {
 		f.rebuild()
-		return
+		return batch, true
 	}
 	for _, p := range f.pending {
 		for j := p.i + 1; j <= f.n; j += j & (-j) {
@@ -111,6 +114,7 @@ func (f *fenwick) flush() {
 		}
 	}
 	f.pending = f.pending[:0]
+	return batch, false
 }
 
 // at returns the current value at index i.

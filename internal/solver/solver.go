@@ -30,6 +30,7 @@ import (
 
 	"semsim/internal/circuit"
 	"semsim/internal/cotunnel"
+	"semsim/internal/obs"
 	"semsim/internal/orthodox"
 	"semsim/internal/rng"
 	"semsim/internal/super"
@@ -80,6 +81,13 @@ type Options struct {
 	// match exact evaluation bit-for-bit; superconducting
 	// quasi-particle rates are always tabulated, as before.
 	RateTables bool
+	// Obs attaches an observability handle: the simulation mirrors its
+	// Stats counters into the observer's metric registry and, when the
+	// observer traces, journals tunnel events, adaptive decisions and
+	// refresh boundaries. Nil falls back to the process-wide observer
+	// (obs.Global), which defaults to disabled. Observation is passive —
+	// an instrumented run is bit-identical to an uninstrumented one.
+	Obs *obs.Observer
 }
 
 func (o *Options) setDefaults(numJunctions int) {
@@ -216,6 +224,10 @@ type Sim struct {
 	// refresh has established a baseline (semsimdebug builds only).
 	dbgInit bool
 
+	// obs mirrors Stats into a metric registry and journals events when
+	// tracing; nil (the default) makes every hook a no-op branch.
+	obs *obs.Observer
+
 	stats Stats
 }
 
@@ -254,6 +266,10 @@ func New(c *circuit.Circuit, opt Options) (*Sim, error) {
 		lastProbe: map[int]float64{},
 		superOn:   sp.Superconducting(),
 		visited:   make([]uint32, c.NumJunctions()),
+	}
+	s.obs = opt.Obs
+	if s.obs == nil {
+		s.obs = obs.Global()
 	}
 	s.buildChannels()
 	if s.superOn {

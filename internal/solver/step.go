@@ -6,6 +6,7 @@ import (
 	"semsim/internal/cotunnel"
 	"semsim/internal/invariant"
 	"semsim/internal/numeric"
+	"semsim/internal/obs"
 	"semsim/internal/orthodox"
 	"semsim/internal/super"
 	"semsim/internal/units"
@@ -294,6 +295,8 @@ func (s *Sim) refreshPotentials() {
 // which also clears accumulated floating-point drift from incremental
 // updates.
 func (s *Sim) fullRefresh() {
+	sp := s.obs.Span("solver.fullRefresh", s.t)
+	preCalcs := s.stats.RateCalcs
 	if invariant.Enabled && s.dbgInit {
 		// Audit the incremental potentials against a fresh solve (with
 		// the pre-refresh external voltages) before overwriting them.
@@ -310,6 +313,9 @@ func (s *Sim) fullRefresh() {
 		s.debugCheckKernels()
 		s.debugCheckFenwick()
 	}
+	s.obs.FullRefresh(s.t)
+	s.obs.RateCalcs(s.stats.RateCalcs - preCalcs)
+	sp.End()
 }
 
 // nonAdaptiveUpdate recomputes all rates after an event (potentials are
@@ -318,9 +324,12 @@ func (s *Sim) fullRefresh() {
 // which picks a bulk rebuild over per-channel tree walks once the batch
 // is large.
 func (s *Sim) nonAdaptiveUpdate() {
+	preCalcs := s.stats.RateCalcs
 	s.refreshAllJunctions()
 	s.recalcSecondary()
-	s.fen.flush()
+	batch, rebuilt := s.fen.flush()
+	s.obs.FenwickFlush(batch, rebuilt, s.t)
+	s.obs.RateCalcs(s.stats.RateCalcs - preCalcs)
 }
 
 // adaptiveUpdate implements Algorithm 1 after the event on channel ch:
@@ -349,14 +358,25 @@ func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue 
 	if ch.junc2 >= 0 {
 		push(ch.junc2)
 	}
+	preCalcs := s.stats.RateCalcs
+	tracing := s.obs.Tracing()
+	depth, levelEnd := 0, len(queue) // seeds are spill depth 0
 	s.flagged = s.flagged[:0]
 	for head := 0; head < len(queue); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(queue)
+		}
 		j := queue[head]
 		jn := s.c.Junction(j)
 		b := s.b0[j] + deltaP(jn.A) - deltaP(jn.B)
 		s.stats.Tested++
 		thr := math.Min(math.Abs(s.dwFw[j]), math.Abs(s.dwBw[j]))
-		if units.E*math.Abs(b) >= s.opt.Alpha*thr {
+		flag := units.E*math.Abs(b) >= s.opt.Alpha*thr
+		if tracing {
+			s.obs.AdaptiveTest(j, units.E*math.Abs(b), s.opt.Alpha*thr, flag, depth, s.t)
+		}
+		if flag {
 			s.stats.Flagged++
 			s.flagged = append(s.flagged, j)
 			for _, nb := range s.c.JunctionNeighbors(j) {
@@ -368,7 +388,11 @@ func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue 
 	}
 	s.recalcFlagged()
 	s.recalcSecondary()
-	s.fen.flush()
+	batch, rebuilt := s.fen.flush()
+	s.obs.Adaptive(ch.junc, len(queue), len(s.flagged), s.t)
+	s.obs.Recomputed(s.flagged)
+	s.obs.FenwickFlush(batch, rebuilt, s.t)
+	s.obs.RateCalcs(s.stats.RateCalcs - preCalcs)
 	return queue
 }
 
@@ -404,6 +428,7 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 	s.vext = vextNew
 
 	if !s.opt.Adaptive {
+		s.obs.InputChange(s.c.NumJunctions(), s.t)
 		s.nonAdaptiveUpdate()
 		return queue
 	}
@@ -419,13 +444,19 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 		}
 		return dext[node]
 	}
+	preCalcs := s.stats.RateCalcs
+	tracing := s.obs.Tracing()
 	s.flagged = s.flagged[:0]
 	for j := 0; j < s.c.NumJunctions(); j++ {
 		jn := s.c.Junction(j)
 		b := s.b0[j] + deltaP(jn.A) - deltaP(jn.B)
 		s.stats.Tested++
 		thr := math.Min(math.Abs(s.dwFw[j]), math.Abs(s.dwBw[j]))
-		if units.E*math.Abs(b) >= s.opt.Alpha*thr {
+		flag := units.E*math.Abs(b) >= s.opt.Alpha*thr
+		if tracing {
+			s.obs.AdaptiveTest(j, units.E*math.Abs(b), s.opt.Alpha*thr, flag, 0, s.t)
+		}
+		if flag {
 			s.stats.Flagged++
 			s.flagged = append(s.flagged, j)
 		} else {
@@ -434,16 +465,28 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 	}
 	s.recalcFlagged()
 	s.recalcSecondary()
-	s.fen.flush()
+	batch, rebuilt := s.fen.flush()
+	s.obs.InputChange(len(s.flagged), s.t)
+	s.obs.Recomputed(s.flagged)
+	s.obs.FenwickFlush(batch, rebuilt, s.t)
+	s.obs.RateCalcs(s.stats.RateCalcs - preCalcs)
 	return queue
 }
 
 // --- Event application ---
 
+// obsKinds maps channel kinds to journal event kinds.
+var obsKinds = [...]obs.Kind{
+	chElectron: obs.KindTunnel,
+	chCotunnel: obs.KindCotunnel,
+	chCooper:   obs.KindCooper,
+}
+
 // apply moves the channel's carriers, updates every island potential
 // exactly, and accumulates measured charge, event counts and dissipated
-// energy per junction.
-func (s *Sim) apply(ch *channel) {
+// energy per junction. It returns the free energy change dW of the
+// event (for the observability hook in Step).
+func (s *Sim) apply(ch *channel) float64 {
 	// Free energy released by this event (evaluated with the exact
 	// pre-event potentials; thermal fluctuations can make it negative).
 	dw := s.c.DeltaW(ch.src, ch.dst, ch.q, s.nodeV(ch.src), s.nodeV(ch.dst))
@@ -472,6 +515,7 @@ func (s *Sim) apply(ch *channel) {
 	default:
 		s.charge[ch.junc] += sign(ch.junc, ch.src) * ch.q
 	}
+	return dw
 }
 
 // --- Main loop ---
@@ -551,8 +595,9 @@ func (s *Sim) Step() (bool, error) {
 	if invariant.Enabled {
 		preSum = s.islandElectronSum()
 	}
-	s.apply(ch)
+	dw := s.apply(ch)
 	s.stats.Events++
+	s.obs.Event(obsKinds[ch.kind], ch.junc, s.t, dw)
 	if s.opt.RefreshEvery > 0 && s.stats.Events%uint64(s.opt.RefreshEvery) == 0 {
 		s.fullRefresh()
 	} else if s.opt.Adaptive {

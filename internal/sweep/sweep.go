@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"semsim/internal/circuit"
+	"semsim/internal/obs"
 	"semsim/internal/solver"
 )
 
@@ -61,6 +62,7 @@ type Config struct {
 // order. Each point gets seed Options.Seed + index so results are
 // reproducible regardless of scheduling.
 func IV(build BuildFunc, xs []float64, cfg Config) ([]Point, error) {
+	defer obs.GlobalSpan("sweep.iv").End()
 	pts := make([]Point, len(xs))
 	errs := make([]error, len(xs))
 	par := cfg.Parallel
@@ -92,6 +94,10 @@ func IV(build BuildFunc, xs []float64, cfg Config) ([]Point, error) {
 }
 
 func runPoint(build BuildFunc, x float64, idx int, cfg Config) (Point, error) {
+	defer obs.GlobalSpan("sweep.point").End()
+	if o := obs.Global(); o != nil {
+		defer o.Registry().Counter("sweep.points_done").Add(1)
+	}
 	c, junc, err := build(x)
 	if err != nil {
 		return Point{}, err
@@ -154,6 +160,7 @@ type Build2DFunc func(x, y float64) (*circuit.Circuit, int, error)
 // Map2D computes the current on a ys-by-xs grid (row-major: result[iy][ix]),
 // the shape of the paper's Fig. 5 contour data.
 func Map2D(build Build2DFunc, xs, ys []float64, cfg Config) ([][]float64, error) {
+	defer obs.GlobalSpan("sweep.map2d").End()
 	grid := make([][]float64, len(ys))
 	for iy := range grid {
 		grid[iy] = make([]float64, len(xs))

@@ -40,6 +40,7 @@ import (
 
 	"semsim/internal/circuit"
 	"semsim/internal/master"
+	"semsim/internal/obs"
 	"semsim/internal/solver"
 	"semsim/internal/sweep"
 	"semsim/internal/trace"
@@ -175,6 +176,40 @@ func IV(build BuildFunc, xs []float64, cfg SweepConfig) ([]SweepPoint, error) {
 func Map2D(build Build2DFunc, xs, ys []float64, cfg SweepConfig) ([][]float64, error) {
 	return sweep.Map2D(build, xs, ys, cfg)
 }
+
+// Observability: a metrics registry, a structured run journal with
+// Chrome trace_event export, phase spans and an optional live HTTP
+// endpoint (metrics + pprof). Observation is passive — instrumented
+// runs are bit-identical to uninstrumented ones — and free when off.
+type (
+	// Observer collects metrics and (optionally) a trace journal from
+	// every simulation it is attached to. A nil Observer is valid and
+	// disables all observation at zero cost.
+	Observer = obs.Observer
+	// ObsConfig selects an Observer's features; the zero value enables
+	// metrics only.
+	ObsConfig = obs.Config
+	// ObsServer is a live observability HTTP endpoint.
+	ObsServer = obs.Server
+)
+
+// NewObserver creates an observability handle. Attach it to a
+// simulation via Options.Obs, or install it process-wide with
+// SetGlobalObserver so every simulation, sweep and master solve
+// reports to it.
+func NewObserver(cfg ObsConfig) *Observer { return obs.New(cfg) }
+
+// SetGlobalObserver installs (or, with nil, removes) the process-wide
+// observer that simulations without an explicit Options.Obs report to.
+func SetGlobalObserver(o *Observer) { obs.SetGlobal(o) }
+
+// GlobalObserver returns the installed process-wide observer, or nil.
+func GlobalObserver() *Observer { return obs.Global() }
+
+// ServeObs starts a live observability HTTP endpoint for o on addr
+// (":0" picks a free port): /metrics, /trace, /heatmap and
+// /debug/pprof/ for profiling long runs.
+func ServeObs(addr string, o *Observer) (*ObsServer, error) { return obs.Serve(addr, o) }
 
 // Waveform post-processing.
 var (
