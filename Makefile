@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test unit race bench zero-alloc rate-engine obs-overhead experiments quick-experiments fmt vet lint debug fuzz
+.PHONY: all build test unit race bench zero-alloc rate-engine potential-engine obs-overhead experiments quick-experiments fmt vet lint debug fuzz
 
 all: build test
 
@@ -25,10 +25,12 @@ debug:
 race:
 	go test -race ./internal/solver/... ./internal/sweep/... ./internal/bench/... ./internal/obs/...
 
-# Disabled observability must stay literally free: the nil-receiver
-# hooks in the solver hot path are asserted to be 0 allocs/op.
+# Disabled observability must stay literally free (nil-receiver hooks
+# at 0 allocs/op), and so must the per-event potential update of both
+# engines (dense row pass and sparse nonzero walk).
 zero-alloc:
 	go test -run TestObsDisabledZeroAlloc -bench=ObsDisabled -benchmem ./internal/obs/
+	go test -run TestPotentialShiftZeroAlloc ./internal/circuit/
 
 # One testing.B benchmark per paper figure, plus ablations and
 # per-package microbenchmarks.
@@ -39,6 +41,12 @@ bench:
 # tabulated kernels) -> results/BENCH_rate_engine.json.
 rate-engine:
 	go run ./cmd/experiments rate-engine
+
+# Machine-readable potential-engine benchmark (dense inverse vs exact
+# sparse rows vs eps-truncated rows on the four largest circuits)
+# -> results/BENCH_potential_engine.json.
+potential-engine:
+	go run ./cmd/experiments potential-engine
 
 # Observability overhead on c432 (obs off vs metrics-only vs full
 # tracing, same seed) -> results/BENCH_obs_overhead.json.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|obs-overhead|all}
+//	experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|potential-engine|obs-overhead|all}
 //
 // See EXPERIMENTS.md for the mapping to the paper and the measured
 // outcomes.
@@ -35,7 +35,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|obs-overhead|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|potential-engine|obs-overhead|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,6 +76,8 @@ func main() {
 		run("ablation", ablation)
 	case "rate-engine":
 		run("rate-engine", rateEngine)
+	case "potential-engine":
+		run("potential-engine", potentialEngine)
 	case "obs-overhead":
 		run("obs-overhead", obsOverhead)
 	case "all":

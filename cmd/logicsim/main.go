@@ -32,6 +32,8 @@ var (
 	temp      = flag.Float64("temp", bench.WorkloadTemp, "temperature in kelvin")
 	seed      = flag.Uint64("seed", 1, "Monte Carlo seed")
 	adaptive  = flag.Bool("adaptive", false, "use the adaptive solver")
+	sparse    = flag.Bool("sparse", false, "use the sparse locality-aware potential engine (bit-identical to dense at -cinv-eps 0)")
+	cinvEps   = flag.Float64("cinv-eps", 0, "truncate C^-1 rows at eps*rowmax; implies -sparse and skips the dense inverse entirely")
 	vcdPath   = flag.String("vcd", "", "write the watched waveform as VCD to this file")
 	obsAddr   = flag.String("obs-addr", "", "serve live metrics, trace and pprof on this address (e.g. :6060)")
 	traceFile = flag.String("trace", "", "write a Chrome trace_event journal of the run to this file")
@@ -92,7 +94,8 @@ func main() {
 	const stepAt = bench.SettleTime
 	drive[tog] = semsim.PWL{T: []float64{0, stepAt, stepAt + bench.StepRamp}, Volt: []float64{0, 0, vdd}}
 
-	ex, err := semsim.ExpandLogic(nl, p, drive)
+	bo := semsim.BuildOptions{SparsePotentials: *sparse || *cinvEps > 0, CinvTruncation: *cinvEps}
+	ex, err := semsim.ExpandLogicWith(nl, p, drive, bo)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,7 +118,10 @@ func main() {
 	}
 	defer stopObs()
 
-	sim, err := semsim.NewSim(ex.Circuit, semsim.Options{Temp: *temp, Seed: *seed, Adaptive: *adaptive})
+	sim, err := semsim.NewSim(ex.Circuit, semsim.Options{
+		Temp: *temp, Seed: *seed, Adaptive: *adaptive,
+		SparsePotentials: bo.SparsePotentials, CinvTruncation: bo.CinvTruncation,
+	})
 	if err != nil {
 		fatal(err)
 	}

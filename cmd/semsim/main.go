@@ -27,11 +27,13 @@ func main() {
 	out := flag.String("o", "", "write results to this file instead of stdout")
 	parallel := flag.Int("parallel", 0, "within-run rate-engine workers (0 = GOMAXPROCS, 1 = serial; bit-identical either way)")
 	rateTables := flag.Bool("rate-tables", false, "evaluate normal-state rates through error-bounded interpolation tables (<1e-6 relative error)")
+	sparse := flag.Bool("sparse", false, "use the sparse locality-aware potential engine (bit-identical to dense at -cinv-eps 0)")
+	cinvEps := flag.Float64("cinv-eps", 0, "truncate C^-1 rows at eps*rowmax (implies -sparse; solver tracks a provable error bound)")
 	obsAddr := flag.String("obs-addr", "", "serve live metrics, trace and pprof on this address (e.g. :6060)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event journal of the run to this file")
 	progress := flag.Bool("progress", false, "print periodic progress lines to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: semsim [-o out.dat] [-parallel n] [-rate-tables] [-obs-addr :6060] [-trace run.json] [-progress] [input.cir]\n")
+		fmt.Fprintf(os.Stderr, "usage: semsim [-o out.dat] [-parallel n] [-rate-tables] [-sparse] [-cinv-eps e] [-obs-addr :6060] [-trace run.json] [-progress] [input.cir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,6 +67,8 @@ func main() {
 	pts, err := semsim.RunDeckWith(deck, semsim.DeckOverrides{
 		Parallel:   *parallel,
 		RateTables: *rateTables,
+		Sparse:     *sparse,
+		CinvEps:    *cinvEps,
 	})
 	if err != nil {
 		fatal(err)

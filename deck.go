@@ -43,6 +43,15 @@ type DeckOverrides struct {
 	// through the shared error-bounded interpolation tables (relative
 	// error < 1e-6).
 	RateTables bool
+	// Sparse forces the sparse locality-aware potential engine even
+	// when the deck does not request it. With CinvEps = 0 the engine is
+	// exact and trajectories stay bit-identical to the dense engine.
+	Sparse bool
+	// CinvEps, when > 0, truncates C^-1 rows at CinvEps*rowmax
+	// (implies Sparse) and overrides the deck's cinv-eps value. The
+	// solver then accumulates a provable potential-error bound in its
+	// Stats.
+	CinvEps float64
 }
 
 // RunDeck executes a deck: for each sweep point (or once, without a
@@ -72,6 +81,15 @@ func RunDeckWith(d *Deck, ov DeckOverrides) ([]DeckPoint, error) {
 		sweepVals = []float64{0}
 	}
 
+	// Engine selection: the deck's sparse/cinv-eps directives choose the
+	// build; overrides can force the sparse view or a coarser truncation
+	// on top (a dense build can derive any sparse view on demand).
+	sparse := spec.Sparse || ov.Sparse || ov.CinvEps > 0
+	eps := spec.CinvEps
+	if ov.CinvEps > 0 {
+		eps = ov.CinvEps
+	}
+
 	var out []DeckPoint
 	for i, v := range sweepVals {
 		override := map[int]float64{}
@@ -92,14 +110,16 @@ func RunDeckWith(d *Deck, ov DeckOverrides) ([]DeckPoint, error) {
 				return nil, err
 			}
 			opt := Options{
-				Temp:         spec.Temp,
-				Cotunneling:  spec.Cotunnel,
-				Adaptive:     spec.Adaptive,
-				Alpha:        spec.Alpha,
-				RefreshEvery: spec.RefreshEvery,
-				Seed:         spec.Seed + uint64(i)*1009 + uint64(run)*104729,
-				Parallel:     ov.Parallel,
-				RateTables:   ov.RateTables,
+				Temp:             spec.Temp,
+				Cotunneling:      spec.Cotunnel,
+				Adaptive:         spec.Adaptive,
+				Alpha:            spec.Alpha,
+				RefreshEvery:     spec.RefreshEvery,
+				Seed:             spec.Seed + uint64(i)*1009 + uint64(run)*104729,
+				Parallel:         ov.Parallel,
+				RateTables:       ov.RateTables,
+				SparsePotentials: sparse,
+				CinvTruncation:   eps,
 			}
 			s, err := NewSim(cc.Circuit, opt)
 			if err != nil {

@@ -34,6 +34,13 @@ const (
 // stimulus attached: HighInputs at Vdd, other inputs low, and the
 // toggle input stepping 0 -> Vdd at SettleTime.
 func BuildWorkload(b Benchmark, p logicnet.Params) (*logicnet.Expanded, error) {
+	return BuildWorkloadWith(b, p, circuit.BuildOptions{})
+}
+
+// BuildWorkloadWith is BuildWorkload with explicit circuit build
+// options — used by the potential-engine benchmark to build the largest
+// circuits natively sparse, skipping the dense inverse entirely.
+func BuildWorkloadWith(b Benchmark, p logicnet.Params, bo circuit.BuildOptions) (*logicnet.Expanded, error) {
 	vdd := p.Vdd()
 	drive := map[string]circuit.Source{}
 	for _, in := range b.Netlist.Inputs {
@@ -46,7 +53,7 @@ func BuildWorkload(b Benchmark, p logicnet.Params) (*logicnet.Expanded, error) {
 		T:    []float64{0, SettleTime, SettleTime + StepRamp},
 		Volt: []float64{0, 0, vdd},
 	}
-	return b.Netlist.Expand(p, drive)
+	return b.Netlist.ExpandWith(p, drive, bo)
 }
 
 // DelayResult is one propagation-delay measurement.

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"semsim/internal/matrix"
 	"semsim/internal/numeric"
@@ -163,18 +164,26 @@ type Circuit struct {
 	built bool
 
 	// Everything below is populated by Build.
-	islands    []int // node ids of islands, in matrix order
-	islandIdx  []int // node id -> island row, -1 for externals
-	externals  []int // node ids of externals
-	extIdx     []int // node id -> external column, -1 for islands
-	cmat       *matrix.Sym
-	cinv       *matrix.Sym
+	islands    []int       // node ids of islands, in matrix order
+	islandIdx  []int       // node id -> island row, -1 for externals
+	externals  []int       // node ids of externals
+	extIdx     []int       // node id -> external column, -1 for islands
+	ccsr       *matrix.CSR // assembled C in CSR form (always)
+	csigma     []float64   // diagonal of C: per-island total capacitance
+	cmat       *matrix.Sym // dense C; nil when built with CinvTruncation > 0
+	cinv       *matrix.Sym // dense C^-1; nil when built with CinvTruncation > 0
 	cie        [][]float64 // islands x externals coupling capacitances
-	mext       [][]float64 // Cinv * CIE: islands x externals
+	mext       [][]float64 // Cinv * CIE: islands x externals; nil when cinv is
+	pot        *Potentials // build-time potential engine
 	nodeJuncs  [][]int     // node id -> junction ids touching it
 	juncNbrs   [][]int     // junction id -> neighbouring junction ids
 	hasDynamic bool
 	allStatic  bool
+
+	// Derived potential engines (see PotentialEngine), cached per eps.
+	engMu     sync.Mutex
+	denseView *Potentials
+	derived   map[float64]*Potentials
 }
 
 // SuperParams describes the superconducting state of a circuit in which
@@ -286,13 +295,23 @@ func (c *Circuit) checkNode(id int) {
 // there is nothing for a single-electron simulator to do.
 var ErrNoIslands = errors.New("circuit: no islands")
 
-// Build freezes the circuit: assembles and inverts the island
-// capacitance matrix and precomputes adjacency. It returns an error if
-// the circuit is electrically ill-posed (an island with no capacitance,
-// an external without a source, no islands at all).
-func (c *Circuit) Build() error {
+// Build freezes the circuit with the default dense potential engine:
+// assembles and inverts the island capacitance matrix and precomputes
+// adjacency. It returns an error if the circuit is electrically
+// ill-posed (an island with no capacitance, an external without a
+// source, no islands at all).
+func (c *Circuit) Build() error { return c.BuildWith(BuildOptions{}) }
+
+// BuildWith freezes the circuit like Build but lets the caller select
+// the potential backend (see BuildOptions). With CinvTruncation > 0 the
+// dense inverse is never formed, so circuits far beyond the dense
+// memory ceiling become buildable.
+func (c *Circuit) BuildWith(bo BuildOptions) error {
 	if c.built {
 		return errors.New("circuit: Build called twice")
+	}
+	if bo.CinvTruncation < 0 || math.IsNaN(bo.CinvTruncation) {
+		return fmt.Errorf("circuit: invalid C^-1 truncation threshold %g", bo.CinvTruncation)
 	}
 	n := len(c.names)
 	c.islandIdx = make([]int, n)
@@ -319,22 +338,27 @@ func (c *Circuit) Build() error {
 	}
 
 	ni, ne := len(c.islands), len(c.externals)
-	c.cmat = matrix.NewSym(ni)
 	c.cie = make([][]float64, ni)
 	for i := range c.cie {
 		c.cie[i] = make([]float64, ne)
 	}
+	// Assemble C as triplets (junctions first, then capacitors, matching
+	// the historical dense accumulation order: CSRFromTriplets sums
+	// duplicates in input order, so every matrix entry is the same float
+	// the AddSym loop used to produce).
+	ts := make([]matrix.Triplet, 0, 4*(len(c.junctions)+len(c.caps)))
 	addCap := func(a, b int, cap float64) {
 		ia, ib := c.islandIdx[a], c.islandIdx[b]
 		if ia >= 0 {
-			c.cmat.AddSym(ia, ia, cap)
+			ts = append(ts, matrix.Triplet{I: ia, J: ia, V: cap})
 		}
 		if ib >= 0 {
-			c.cmat.AddSym(ib, ib, cap)
+			ts = append(ts, matrix.Triplet{I: ib, J: ib, V: cap})
 		}
 		switch {
 		case ia >= 0 && ib >= 0:
-			c.cmat.AddSym(ia, ib, -cap)
+			ts = append(ts, matrix.Triplet{I: ia, J: ib, V: -cap},
+				matrix.Triplet{I: ib, J: ia, V: -cap})
 		case ia >= 0:
 			c.cie[ia][c.extIdx[b]] += cap
 		case ib >= 0:
@@ -347,26 +371,53 @@ func (c *Circuit) Build() error {
 	for _, cp := range c.caps {
 		addCap(cp.A, cp.B, cp.C)
 	}
-
-	inv, err := matrix.InvertSPD(c.cmat)
-	if err != nil {
-		return fmt.Errorf("circuit: capacitance matrix is singular (floating island with no capacitance?): %w", err)
+	c.ccsr = matrix.CSRFromTriplets(ni, ni, ts)
+	c.csigma = make([]float64, ni)
+	for i := range c.csigma {
+		c.csigma[i] = c.ccsr.At(i, i)
 	}
-	c.cinv = inv
 
-	// The island charge balance is q_e = C_II*v_I - C_IE*v_E (the C_IE
-	// column holds the positive coupling capacitances), so
-	// v_I = Cinv*q_e + (Cinv*C_IE)*v_E. Precompute mext = Cinv*C_IE.
-	c.mext = make([][]float64, ni)
-	for i := 0; i < ni; i++ {
-		c.mext[i] = make([]float64, ne)
-		row := c.cinv.Row(i)
-		for s := 0; s < ne; s++ {
-			acc := 0.0
-			for k := 0; k < ni; k++ {
-				acc += row[k] * c.cie[k][s]
+	if bo.SparsePotentials && bo.CinvTruncation > 0 {
+		// Native sparse build: factor C sparsely, never form the dense
+		// inverse.
+		pot, err := newSparseNative(c, bo.CinvTruncation)
+		if err != nil {
+			return fmt.Errorf("circuit: capacitance matrix is singular (floating island with no capacitance?): %w", err)
+		}
+		c.pot = pot
+	} else {
+		c.cmat = matrix.NewSym(ni)
+		for i := 0; i < ni; i++ {
+			cols, vals := c.ccsr.Row(i)
+			for k, col := range cols {
+				c.cmat.SetSym(i, int(col), vals[k])
 			}
-			c.mext[i][s] = acc
+		}
+		inv, err := matrix.InvertSPD(c.cmat)
+		if err != nil {
+			return fmt.Errorf("circuit: capacitance matrix is singular (floating island with no capacitance?): %w", err)
+		}
+		c.cinv = inv
+
+		// The island charge balance is q_e = C_II*v_I - C_IE*v_E (the C_IE
+		// column holds the positive coupling capacitances), so
+		// v_I = Cinv*q_e + (Cinv*C_IE)*v_E. Precompute mext = Cinv*C_IE.
+		c.mext = make([][]float64, ni)
+		for i := 0; i < ni; i++ {
+			c.mext[i] = make([]float64, ne)
+			row := c.cinv.Row(i)
+			for s := 0; s < ne; s++ {
+				acc := 0.0
+				for k := 0; k < ni; k++ {
+					acc += row[k] * c.cie[k][s]
+				}
+				c.mext[i][s] = acc
+			}
+		}
+		if bo.SparsePotentials {
+			c.pot = newSparseFromDense(c, 0)
+		} else {
+			c.pot = newDensePotentials(c)
 		}
 	}
 
@@ -493,20 +544,28 @@ func (c *Circuit) SourceOf(id int) Source { return c.sources[id] }
 // Cinv returns the (i, j) element of the inverse capacitance matrix by
 // node id; entries involving external nodes are zero (a voltage source
 // absorbs charge with no potential change), which is exactly the
-// convention Eq. 2 needs.
-func (c *Circuit) Cinv(a, b int) float64 {
-	ia, ib := c.islandIdx[a], c.islandIdx[b]
-	if ia < 0 || ib < 0 {
-		return 0
+// convention Eq. 2 needs. The value comes from the circuit's built
+// potential engine, so it reflects any configured truncation.
+func (c *Circuit) Cinv(a, b int) float64 { return c.pot.Cinv(a, b) }
+
+// CinvRow returns row i (island order) of the dense C^-1 for fast bulk
+// updates. It requires the dense inverse and panics on circuits built
+// with CinvTruncation > 0; hot paths should walk the potential engine's
+// truncated rows instead (Potentials.Shift and friends).
+func (c *Circuit) CinvRow(islandRow int) []float64 {
+	if c.cinv == nil {
+		panic("circuit: CinvRow needs the dense inverse (circuit built with cinv truncation)")
 	}
-	return c.cinv.At(ia, ib)
+	return c.cinv.Row(islandRow)
 }
 
-// CinvRow returns row i (island order) of C^-1 for fast bulk updates.
-func (c *Circuit) CinvRow(islandRow int) []float64 { return c.cinv.Row(islandRow) }
+// CSR returns the assembled island capacitance matrix in CSR form
+// (read-only), mainly for tests and diagnostics.
+func (c *Circuit) CSR() *matrix.CSR { return c.ccsr }
 
-// CMatrix returns the assembled island capacitance matrix (read-only),
-// mainly for tests and diagnostics.
+// CMatrix returns the dense assembled island capacitance matrix
+// (read-only), mainly for tests and diagnostics; nil on circuits built
+// with CinvTruncation > 0 (use CSR instead).
 func (c *Circuit) CMatrix() *matrix.Sym { return c.cmat }
 
 // SumCapacitance returns the total capacitance C_sigma attached to an
@@ -517,7 +576,7 @@ func (c *Circuit) SumCapacitance(node int) float64 {
 	if i < 0 {
 		panic(fmt.Sprintf("circuit: SumCapacitance of non-island %d", node))
 	}
-	return c.cmat.At(i, i)
+	return c.csigma[i]
 }
 
 // JunctionsAt returns the junction ids touching a node.
@@ -577,17 +636,7 @@ func (c *Circuit) ChargeVector(dst []float64, n []int) []float64 {
 // — the solver's parallel full refresh shards the matrix-vector product
 // this way.
 func (c *Circuit) IslandPotentialsRange(dst, q, vext []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		row := c.cinv.Row(i)
-		acc := 0.0
-		for k, qk := range q {
-			acc += row[k] * qk
-		}
-		for s, vs := range vext {
-			acc += c.mext[i][s] * vs
-		}
-		dst[i] = acc
-	}
+	c.pot.SolveRange(dst, q, vext, lo, hi)
 }
 
 // NodePotential returns the potential of any node given precomputed
@@ -603,11 +652,5 @@ func (c *Circuit) NodePotential(id int, islandV []float64, t float64) float64 {
 // change caused by external voltages moving from vext0 to vext1:
 // dv = mext * (v1 - v0).
 func (c *Circuit) ExternalDelta(dst, vext0, vext1 []float64) {
-	for i := range dst {
-		acc := 0.0
-		for s := range vext0 {
-			acc += c.mext[i][s] * (vext1[s] - vext0[s])
-		}
-		dst[i] = acc
-	}
+	c.pot.ExternalDelta(dst, vext0, vext1)
 }

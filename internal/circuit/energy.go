@@ -13,8 +13,7 @@ import "semsim/internal/units"
 // Cinv entries involving external nodes are zero, which folds the
 // island/lead special cases of the orthodox theory into one formula.
 func (c *Circuit) DeltaW(src, dst int, q, vSrc, vDst float64) float64 {
-	self := c.Cinv(src, src) - 2*c.Cinv(src, dst) + c.Cinv(dst, dst)
-	return -q*(vDst-vSrc) + self*q*q/2
+	return c.pot.DeltaW(src, dst, q, vSrc, vDst)
 }
 
 // DeltaWElectron is DeltaW for a single electron.
@@ -30,15 +29,7 @@ func (c *Circuit) DeltaWElectron(src, dst int, vSrc, vDst float64) float64 {
 //
 // src/dst are node ids; external endpoints contribute nothing.
 func (c *Circuit) PotentialShift(k int, src, dst int, mq float64) float64 {
-	row := c.cinv.Row(k)
-	acc := 0.0
-	if i := c.islandIdx[src]; i >= 0 {
-		acc += row[i]
-	}
-	if i := c.islandIdx[dst]; i >= 0 {
-		acc -= row[i]
-	}
-	return mq * acc
+	return c.pot.PotentialShift(k, src, dst, mq)
 }
 
 // ApplyTransfer updates the electron-count vector n (island order) for

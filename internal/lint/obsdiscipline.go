@@ -28,6 +28,13 @@ import (
 // legal: formatting values and writing result artifacts are not
 // terminal chatter. Packages outside the hot set (CLIs, bench, the
 // experiment drivers) print freely.
+//
+// Inside internal/solver the pass additionally forbids calls to
+// circuit.CinvRow: raw C^-1 row access in the event loop bypasses the
+// potential engine, silently assumes the dense inverse exists (it does
+// not on natively truncated builds), and loses the truncation
+// error-bound accounting. Every per-event C^-1 walk belongs on
+// circuit.Potentials.
 var Obsdiscipline = &Analyzer{
 	Name: "obsdiscipline",
 	Doc:  "forbid terminal printing and the log package in hot simulator packages (report through internal/obs)",
@@ -88,6 +95,10 @@ func checkObsCall(pass *Pass, call *ast.CallExpr) {
 	obj := pass.Info.Uses[sel.Sel]
 	if obj == nil || obj.Pkg() == nil {
 		return
+	}
+	if obj.Name() == "CinvRow" && strings.HasSuffix(obj.Pkg().Path(), "internal/circuit") &&
+		pathHasSuffixAny(pass.Path, []string{"internal/solver"}) {
+		pass.Reportf(call.Pos(), "circuit.CinvRow in internal/solver: per-event C^-1 access must go through the potential engine (circuit.Potentials)")
 	}
 	switch obj.Pkg().Path() {
 	case "fmt":

@@ -1,0 +1,18 @@
+// Package circuit (fixture) mirrors the C^-1 access surface the
+// obsdiscipline pass watches inside internal/solver: the raw dense-row
+// accessor is forbidden there, the potential-engine methods are the
+// sanctioned path.
+package circuit
+
+// Circuit carries the forbidden raw accessor.
+type Circuit struct{}
+
+// CinvRow is the dense C^-1 row accessor solver code must not call.
+func (c *Circuit) CinvRow(k int) []float64 { return nil }
+
+// Potentials is the sanctioned engine surface.
+type Potentials struct{}
+
+func (p *Potentials) PotentialShift(k, src, dst int, mq float64) float64 { return 0 }
+
+func (p *Potentials) Shift(v []float64, src, dst int, mq float64) int { return 0 }

@@ -358,6 +358,14 @@ type Expanded struct {
 // Expand builds the SET circuit. drive supplies the source for each
 // input wire; inputs not in the map are tied to logic low (0 V).
 func (nl *Netlist) Expand(p Params, drive map[string]circuit.Source) (*Expanded, error) {
+	return nl.ExpandWith(p, drive, circuit.BuildOptions{})
+}
+
+// ExpandWith is Expand with explicit circuit build options — the entry
+// point for building a benchmark circuit on the sparse potential
+// engine (2000+ junction circuits skip the dense inverse entirely when
+// a truncation threshold is set).
+func (nl *Netlist) ExpandWith(p Params, drive map[string]circuit.Source, bo circuit.BuildOptions) (*Expanded, error) {
 	c := circuit.New()
 	ex := &Expanded{Circuit: c, Wire: map[string]int{}, InputNode: map[string]int{}, Params: p}
 
@@ -481,7 +489,7 @@ func (nl *Netlist) Expand(p Params, drive map[string]circuit.Source) (*Expanded,
 			return nil, err
 		}
 	}
-	if err := c.Build(); err != nil {
+	if err := c.BuildWith(bo); err != nil {
 		return nil, err
 	}
 	return ex, nil

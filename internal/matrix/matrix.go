@@ -88,44 +88,47 @@ func (m *Sym) MulVec(dst, x []float64) {
 	}
 }
 
-// Cholesky holds the lower-triangular factor L with M = L * L^T.
+// Cholesky holds the lower-triangular factor L with M = L * L^T,
+// packed: row i occupies l[i*(i+1)/2 : i*(i+1)/2 + i + 1], so the
+// factor costs n*(n+1)/2 floats instead of a full square — on the
+// 6988-junction compact-model build that difference is hundreds of
+// megabytes of peak memory.
 type Cholesky struct {
 	n int
-	l []float64 // row-major lower triangle, full square storage
+	l []float64 // packed row-major lower triangle
 }
 
 // Factor computes the Cholesky factorization of m. It returns
-// ErrNotPositiveDefinite if a pivot is not strictly positive.
+// ErrNotPositiveDefinite if a pivot is not strictly positive. The input
+// is read directly (no full-matrix clone) and the factor is stored
+// packed; the arithmetic — operation order included — matches the
+// classic full-storage loop exactly, so factors and everything derived
+// from them are bit-identical to the earlier implementation.
 func Factor(m *Sym) (*Cholesky, error) {
 	n := m.n
-	ch := &Cholesky{n: n, l: make([]float64, n*n)}
-	copy(ch.l, m.data)
+	ch := &Cholesky{n: n, l: make([]float64, n*(n+1)/2)}
 	l := ch.l
 	for j := 0; j < n; j++ {
-		d := l[j*n+j]
-		for k := 0; k < j; k++ {
-			d -= l[j*n+k] * l[j*n+k]
+		oj := j * (j + 1) / 2
+		lj := l[oj : oj+j]
+		d := m.At(j, j)
+		for _, v := range lj {
+			d -= v * v
 		}
 		if d <= 0 || math.IsNaN(d) {
 			return nil, fmt.Errorf("%w (pivot %d = %g)", ErrNotPositiveDefinite, j, d)
 		}
 		d = math.Sqrt(d)
-		l[j*n+j] = d
+		l[oj+j] = d
 		inv := 1 / d
 		for i := j + 1; i < n; i++ {
-			s := l[i*n+j]
-			li := l[i*n : i*n+j]
-			lj := l[j*n : j*n+j]
-			for k := range lj {
-				s -= li[k] * lj[k]
+			oi := i * (i + 1) / 2
+			s := m.At(i, j)
+			li := l[oi : oi+j]
+			for k, v := range lj {
+				s -= li[k] * v
 			}
-			l[i*n+j] = s * inv
-		}
-	}
-	// Zero the strict upper triangle left over from the copy.
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			l[i*n+j] = 0
+			l[oi+j] = s * inv
 		}
 	}
 	return ch, nil
@@ -140,20 +143,21 @@ func (c *Cholesky) Solve(b []float64) {
 	l := c.l
 	// Forward substitution L y = b.
 	for i := 0; i < n; i++ {
+		oi := i * (i + 1) / 2
 		s := b[i]
-		row := l[i*n : i*n+i]
+		row := l[oi : oi+i]
 		for k, v := range row {
 			s -= v * b[k]
 		}
-		b[i] = s / l[i*n+i]
+		b[i] = s / l[oi+i]
 	}
 	// Back substitution L^T x = y.
 	for i := n - 1; i >= 0; i-- {
 		s := b[i]
 		for k := i + 1; k < n; k++ {
-			s -= l[k*n+i] * b[k]
+			s -= l[k*(k+1)/2+i] * b[k]
 		}
-		b[i] = s / l[i*n+i]
+		b[i] = s / l[i*(i+1)/2+i]
 	}
 }
 
@@ -167,12 +171,15 @@ func (c *Cholesky) Solve(b []float64) {
 func (c *Cholesky) Inverse() *Sym {
 	n := c.n
 	inv := NewSym(n)
-	// Transposed factor: lt[i*n+k] = l[k*n+i], so the back substitution
-	// walks rows sequentially.
-	lt := make([]float64, n*n)
+	// Transposed factor, packed upper row-major: row i of ut holds
+	// L[k][i] for k = i..n-1, so the back substitution walks rows
+	// sequentially. utOff(i) is where row i starts.
+	utOff := func(i int) int { return i*n - i*(i-1)/2 }
+	ut := make([]float64, n*(n+1)/2)
 	for i := 0; i < n; i++ {
+		oi := i * (i + 1) / 2
 		for k := 0; k <= i; k++ {
-			lt[k*n+i] = c.l[i*n+k]
+			ut[utOff(k)+i-k] = c.l[oi+k]
 		}
 	}
 
@@ -194,21 +201,23 @@ func (c *Cholesky) Inverse() *Sym {
 				x[j] = 1
 				// Forward substitution L y = e_j; y[i] = 0 for i < j.
 				for i := j; i < n; i++ {
+					oi := i * (i + 1) / 2
 					s := x[i]
-					row := c.l[i*n+j : i*n+i]
+					row := c.l[oi+j : oi+i]
 					for k, v := range row {
 						s -= v * x[j+k]
 					}
-					x[i] = s / c.l[i*n+i]
+					x[i] = s / c.l[oi+i]
 				}
 				// Back substitution L^T z = y using the transposed rows.
 				for i := n - 1; i >= 0; i-- {
+					oi := utOff(i)
 					s := x[i]
-					row := lt[i*n+i+1 : i*n+n]
+					row := ut[oi+1 : oi+n-i]
 					for k, v := range row {
 						s -= v * x[i+1+k]
 					}
-					x[i] = s / lt[i*n+i]
+					x[i] = s / ut[oi]
 				}
 				copy(inv.data[j*n:(j+1)*n], x)
 			}

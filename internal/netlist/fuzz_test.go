@@ -20,6 +20,8 @@ func FuzzNetlistParse(f *testing.F) {
 	f.Add("junc 1 1 2 1e-6 1e-18\nvdc 1 0.02\nsweep 1 0.02 0.0001\nsymm 1\n")
 	f.Add("num j 99\njunc 1 1 2 1e-6 1e-18\n")
 	f.Add("junc x y z\n")
+	f.Add("junc 1 1 2 1e-6 1e-18\nvdc 1 0.01\nsparse\n")
+	f.Add("junc 1 1 2 1e-6 1e-18\ncap 2 3 2e-18\nvdc 1 0.01\nvdc 3 0\ncinv-eps 1e-9\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		d, err := Parse(strings.NewReader(src))
 		if err != nil {
@@ -40,8 +42,38 @@ func FuzzNetlistParse(f *testing.F) {
 		if first.String() != second.String() {
 			t.Errorf("Format is not canonical:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
 		}
-		if c, err := d.Compile(nil); err == nil && c == nil {
-			t.Error("Compile returned neither circuit nor error")
+		c, err := d.Compile(nil)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("Compile returned neither circuit nor error")
+		}
+		// Every compilable deck must also assemble through the sparse CSR
+		// path, and with eps = 0 its island potentials must match the
+		// dense engine bitwise (the exact sparse rows store the same
+		// floats as the dense inverse).
+		if d.Spec.Sparse || d.Spec.CinvEps > 0 {
+			return
+		}
+		ds := *d
+		ds.Spec.Sparse = true
+		ds.Spec.CinvEps = 0
+		cs, err := ds.Compile(nil)
+		if err != nil {
+			t.Fatalf("sparse compile failed where dense succeeded: %v\ninput:\n%s", err, src)
+		}
+		ni := c.Circuit.NumIslands()
+		ns := make([]int, ni)
+		for i := range ns {
+			ns[i] = i%3 - 1
+		}
+		vd := c.Circuit.IslandPotentials(nil, ns, 1e-10)
+		vs := cs.Circuit.IslandPotentials(nil, ns, 1e-10)
+		for i := range vd {
+			if vd[i] != vs[i] {
+				t.Errorf("island %d: dense potential %v, sparse %v\ninput:\n%s", i, vd[i], vs[i], src)
+			}
 		}
 	})
 }

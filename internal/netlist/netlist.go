@@ -29,6 +29,8 @@
 //	seed 42                      RNG seed
 //	adaptive 0.05                adaptive solver with threshold alpha
 //	refresh 1024                 full recalculation period
+//	sparse                       sparse locality-aware potential engine
+//	cinv-eps 1e-9                truncate C^-1 rows at eps*rowmax (implies sparse)
 //
 // Node 0 is always ground (an external at 0 V). Nodes with a source are
 // external; every other referenced node is an island. Lines starting
@@ -72,9 +74,14 @@ type Spec struct {
 	Adaptive     bool
 	Alpha        float64
 	RefreshEvery int
-	Sweep        *SweepSpec
-	RecordJuncs  []int // netlist junction ids
-	ProbeNodes   []int // netlist node numbers
+	// Sparse selects the sparse locality-aware potential engine;
+	// CinvEps is the relative C^-1 row-truncation threshold (0 = exact,
+	// bit-identical to dense; > 0 implies Sparse).
+	Sparse      bool
+	CinvEps     float64
+	Sweep       *SweepSpec
+	RecordJuncs []int // netlist junction ids
+	ProbeNodes  []int // netlist node numbers
 }
 
 type juncDef struct {
@@ -400,6 +407,23 @@ func (d *Deck) directive(f []string, ln int) error {
 			return bad("refresh: malformed period")
 		}
 		d.Spec.RefreshEvery = n
+	case "sparse":
+		if err := need(0); err != nil {
+			return err
+		}
+		d.Spec.Sparse = true
+	case "cinv-eps":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := num(f[1])
+		if err != nil || v < 0 {
+			return bad("cinv-eps: malformed threshold (want >= 0)")
+		}
+		d.Spec.CinvEps = v
+		if v > 0 {
+			d.Spec.Sparse = true
+		}
 	default:
 		return bad("unknown directive %q", f[0])
 	}
@@ -558,7 +582,8 @@ func (d *Deck) Compile(dcOverride map[int]float64) (*Compiled, error) {
 	if d.Spec.Super != nil {
 		c.SetSuper(*d.Spec.Super)
 	}
-	if err := c.Build(); err != nil {
+	bo := circuit.BuildOptions{SparsePotentials: d.Spec.Sparse, CinvTruncation: d.Spec.CinvEps}
+	if err := c.BuildWith(bo); err != nil {
 		return nil, err
 	}
 	return &Compiled{Circuit: c, Node: nodeMap, Junc: juncMap}, nil

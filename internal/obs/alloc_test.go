@@ -55,6 +55,15 @@ func BenchmarkObsDisabledRecomputed(b *testing.B) {
 	}
 }
 
+func BenchmarkObsDisabledEventTouched(b *testing.B) {
+	o := nilObserver()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.EventTouched(i & 1023)
+		o.CinvBound(1e-9)
+	}
+}
+
 // BenchmarkObsEnabledEvent is the enabled counterpart for the overhead
 // report: metrics on, tracing off. It must also stay allocation-free.
 func BenchmarkObsEnabledEvent(b *testing.B) {
@@ -77,6 +86,7 @@ func TestObsDisabledZeroAlloc(t *testing.T) {
 		"FenwickFlush": BenchmarkObsDisabledFenwickFlush,
 		"Span":         BenchmarkObsDisabledSpan,
 		"Recomputed":   BenchmarkObsDisabledRecomputed,
+		"EventTouched": BenchmarkObsDisabledEventTouched,
 		"EnabledEvent": BenchmarkObsEnabledEvent,
 	}
 	for name, fn := range benches {

@@ -64,6 +64,11 @@ type Observer struct {
 	dissipated     *Gauge
 	spillHist      *Histogram
 	flushHist      *Histogram
+	touchedHist    *Histogram
+	cinvBound      *Gauge
+	cinvNNZ        *Gauge
+	cinvTrunc      *Gauge
+	cholFill       *Gauge
 
 	heatMu sync.Mutex
 	heat   []uint32
@@ -95,6 +100,11 @@ func New(cfg Config) *Observer {
 	fanout := ExpBuckets(1, 2, 16)
 	o.spillHist = o.reg.Histogram("solver.adaptive_spill_size", fanout)
 	o.flushHist = o.reg.Histogram("solver.fenwick_flush_batch", fanout)
+	o.touchedHist = o.reg.Histogram("solver.event_touched_nnz", fanout)
+	o.cinvBound = o.reg.Gauge("solver.cinv_error_bound_v")
+	o.cinvNNZ = o.reg.Gauge("circuit.cinv_nnz")
+	o.cinvTrunc = o.reg.Gauge("circuit.cinv_truncation_ratio")
+	o.cholFill = o.reg.Gauge("circuit.chol_fill_ratio")
 	return o
 }
 
@@ -247,6 +257,39 @@ func (o *Observer) FenwickFlush(batch int, rebuilt bool, simT float64) {
 		}
 		o.journal.Record(Event{Kind: KindFenwick, A: int32(batch), B: b, Sim: simT, Wall: o.wall()})
 	}
+}
+
+// EventTouched records how many stored C^-1 nonzeros one applied event's
+// potential shift walked — n² for the dense engine, the two truncated
+// row lengths for the sparse one. The histogram makes the locality win
+// of truncation directly visible on /metrics.
+func (o *Observer) EventTouched(n int) {
+	if o == nil {
+		return
+	}
+	o.touchedHist.Observe(float64(n))
+}
+
+// CinvBound publishes the solver's running truncation-error bound (volts)
+// at refresh and input-change boundaries. Always zero for exact engines.
+func (o *Observer) CinvBound(v float64) {
+	if o == nil {
+		return
+	}
+	o.cinvBound.Set(v)
+}
+
+// PotentialEngine publishes the static shape of the potential engine a
+// solver was built with: stored C^-1 nonzeros, the fraction of the
+// full inverse kept after truncation, and the Cholesky fill-in ratio
+// (nnz(L)/nnz(tril(C)); 0 when no sparse factorization was formed).
+func (o *Observer) PotentialEngine(nnz int, truncRatio, fill float64) {
+	if o == nil {
+		return
+	}
+	o.cinvNNZ.Set(float64(nnz))
+	o.cinvTrunc.Set(truncRatio)
+	o.cholFill.Set(fill)
 }
 
 // --- Global observer ---

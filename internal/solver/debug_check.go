@@ -71,10 +71,14 @@ func (s *Sim) debugCheckFenwick() {
 }
 
 // debugCheckPotentialDrift compares the incrementally maintained island
-// potentials against a fresh matrix solve using the same external
-// voltages, before a full refresh overwrites them. Incremental updates
-// are exact arithmetic, so only rounding-level drift is tolerated; a
-// sign error or wrong C^-1 row shows up at millivolt scale.
+// potentials against a fresh solve through the same potential engine
+// using the same external voltages, before a full refresh overwrites
+// them. Incremental updates are exact arithmetic with respect to the
+// engine's (possibly truncated) rows, so only rounding-level drift is
+// tolerated; a sign error or wrong C^-1 row shows up at millivolt
+// scale. Using s.pe for the fresh solve keeps the tolerance valid for
+// truncated engines too: truncation error is a property of the rows,
+// identical on both sides of the comparison.
 func (s *Sim) debugCheckPotentialDrift() {
 	ni := s.c.NumIslands()
 	if ni == 0 {
@@ -82,7 +86,7 @@ func (s *Sim) debugCheckPotentialDrift() {
 	}
 	q := s.c.ChargeVector(nil, s.n)
 	fresh := make([]float64, ni)
-	s.c.IslandPotentialsRange(fresh, q, s.vext, 0, ni)
+	s.pe.SolveRange(fresh, q, s.vext, 0, ni)
 	maxAbs := 0.0
 	for _, v := range fresh {
 		if a := math.Abs(v); a > maxAbs {

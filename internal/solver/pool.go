@@ -82,5 +82,34 @@ func (p *pool) run(total int, fn func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
+// runRanges is run with caller-chosen shard boundaries instead of equal
+// index counts: shard w covers [bounds[w], bounds[w+1]). The sparse
+// refresh uses nonzero-balanced boundaries so shard wall times stay even
+// when row lengths are skewed. len(bounds)-1 must not exceed the pool's
+// worker count. Empty shards are skipped.
+func (p *pool) runRanges(bounds []int, fn func(worker, lo, hi int)) {
+	m := len(bounds) - 1
+	if m <= 0 {
+		return
+	}
+	if m == 1 {
+		fn(0, bounds[0], bounds[1])
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < m; w++ {
+		if bounds[w] == bounds[w+1] {
+			continue
+		}
+		wg.Add(1)
+		p.jobs <- poolJob{fn: fn, worker: w, lo: bounds[w], hi: bounds[w+1], wg: &wg}
+	}
+	// The caller works shard 0 while the others run.
+	if bounds[0] < bounds[1] {
+		fn(0, bounds[0], bounds[1])
+	}
+	wg.Wait()
+}
+
 // close terminates the worker goroutines. run must not be called after.
 func (p *pool) close() { close(p.jobs) }

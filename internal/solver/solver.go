@@ -74,6 +74,20 @@ type Options struct {
 	// same waveforms — so this is purely a speed knob. Small circuits
 	// (below the internal batch cutoff) always run serially.
 	Parallel int
+	// SparsePotentials routes all potential arithmetic through the
+	// sparse locality-aware engine: per-event shifts and full-refresh
+	// solves walk only the stored nonzeros of ε-truncated C^-1 rows.
+	// With CinvTruncation = 0 (exact) trajectories are bit-identical to
+	// the dense engine — same seed, same events, same waveforms — serial
+	// and parallel; the knob then only changes memory layout and lets
+	// sparsely built circuits run. See CinvTruncation for the lossy mode.
+	SparsePotentials bool
+	// CinvTruncation is the relative threshold ε for dropping C^-1 row
+	// entries (|v| < ε·‖row‖∞): larger values make per-event updates
+	// cheaper at the price of a bounded potential error, which the
+	// solver accumulates into Stats.CinvErrorBound. A positive value
+	// implies SparsePotentials. Default 0 (exact).
+	CinvTruncation float64
 	// RateTables evaluates the normal-state orthodox and cotunneling
 	// rates through shared error-bounded interpolation tables (relative
 	// error < 1e-6, exact evaluation outside the tabulated band)
@@ -149,6 +163,11 @@ type Stats struct {
 	// as heat. This is the quantity behind the paper's motivating claim
 	// that SET logic reaches ~1e-18 J per switching event.
 	Dissipated float64
+	// CinvErrorBound bounds the current per-island potential error
+	// (volts) introduced by C^-1 truncation: reset to the refresh bound
+	// at every full refresh and grown by per-event and input-change
+	// terms in between. Exactly zero when CinvTruncation is 0.
+	CinvErrorBound float64
 }
 
 // Sample is one waveform point of a probed node.
@@ -161,6 +180,13 @@ type Sim struct {
 	c   *circuit.Circuit
 	opt Options
 	rnd *rng.Source
+
+	// pe is the potential engine all C^-1-mediated arithmetic goes
+	// through (dense by default; sparse/truncated per Options).
+	pe *circuit.Potentials
+	// shardBounds are nnz-balanced row boundaries for the parallel
+	// refresh solve on sparse engines (nil: shard by row count).
+	shardBounds []int
 
 	t    float64
 	n    []int     // electrons per island (island order)
@@ -271,6 +297,12 @@ func New(c *circuit.Circuit, opt Options) (*Sim, error) {
 	if s.obs == nil {
 		s.obs = obs.Global()
 	}
+	pe, err := c.PotentialEngine(opt.SparsePotentials, opt.CinvTruncation)
+	if err != nil {
+		return nil, fmt.Errorf("solver: %w", err)
+	}
+	s.pe = pe
+	s.obs.PotentialEngine(pe.NNZ(), pe.TruncationRatio(), pe.Fill())
 	s.buildChannels()
 	if s.superOn {
 		if err := s.buildSuper(); err != nil {
@@ -317,6 +349,10 @@ func (s *Sim) buildRateEngine() {
 	s.rateBw = make([]float64, nj)
 	s.secRate = make([]float64, len(s.secChans))
 	s.workerCalcs = make([]uint64, s.opt.Parallel)
+	// Sparse refresh solves shard by stored-nonzero count: truncation
+	// leaves skewed row lengths, so equal row ranges would imbalance.
+	// Sharding never changes the computed floats — rows are independent.
+	s.shardBounds = s.pe.RowShards(s.opt.Parallel)
 	// Backstop for callers that never Close: reclaim the worker
 	// goroutines when the Sim is collected.
 	runtime.SetFinalizer(s, (*Sim).Close)

@@ -1,0 +1,110 @@
+// Tests of the sparse potential engine inside the solver: with ε = 0
+// the sparse engine must reproduce the dense trajectory bit for bit
+// (same events, waveforms, currents and Stats) on both the serial and
+// the parallel rate engine; with ε > 0 the run must carry a positive,
+// honest error bound while staying statistically indistinguishable at
+// truncation thresholds far below thermal noise.
+package solver_test
+
+import (
+	"testing"
+
+	"semsim/internal/bench"
+	"semsim/internal/obs"
+	"semsim/internal/solver"
+)
+
+// TestSparseMatchesDense is the ε = 0 acceptance gate of the sparse
+// engine: the exact sparse rows store the same floats as the dense
+// inverse (only exact zeros are dropped), so every trajectory quantity
+// must agree bitwise with the dense run — under the serial path, the
+// adaptive solver and the parallel rate engine alike. Run under -race
+// by the race target, this also exercises the nonzero-balanced refresh
+// sharding for data races.
+func TestSparseMatchesDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MC workload in -short mode")
+	}
+	ex, b := workload(t, "74LS153")
+	const events = 3000
+	cases := []struct {
+		name string
+		opt  solver.Options
+	}{
+		{"serial", solver.Options{Temp: bench.WorkloadTemp, Seed: 41, Parallel: 1}},
+		{"serial-adaptive", solver.Options{Temp: bench.WorkloadTemp, Seed: 41, Parallel: 1, Adaptive: true, RefreshEvery: 64}},
+		{"parallel-adaptive", solver.Options{Temp: bench.WorkloadTemp, Seed: 41, Parallel: 4, Adaptive: true, RefreshEvery: 64}},
+	}
+	for _, c := range cases {
+		dense := runWorkload(t, ex, b, c.opt, events)
+		if dense.stats.Events == 0 {
+			t.Fatalf("%s: no events simulated", c.name)
+		}
+		sparseOpt := c.opt
+		sparseOpt.SparsePotentials = true
+		sparse := runWorkload(t, ex, b, sparseOpt, events)
+		requireIdentical(t, c.name, dense, sparse)
+		if sparse.stats.CinvErrorBound != 0 {
+			t.Fatalf("%s: exact sparse run reports error bound %g, want 0",
+				c.name, sparse.stats.CinvErrorBound)
+		}
+	}
+}
+
+// TestTruncatedRunCarriesBound: an ε > 0 run must report a positive
+// accumulated error bound in Stats and on the obs registry, and at a
+// threshold of 1e-9 (potential perturbations nine decades below the
+// junction voltages) the sampled event sequence must still match the
+// dense run — the same argument as the rate-table test, with three
+// decades more margin.
+func TestTruncatedRunCarriesBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MC workload in -short mode")
+	}
+	ex, b := workload(t, "74LS153")
+	const events = 2000
+	base := solver.Options{Temp: bench.WorkloadTemp, Seed: 47, Parallel: 1, Adaptive: true, RefreshEvery: 64}
+	dense := runWorkload(t, ex, b, base, events)
+
+	o := obs.New(obs.Config{})
+	truncOpt := base
+	truncOpt.SparsePotentials = true
+	truncOpt.CinvTruncation = 1e-9
+	truncOpt.Obs = o
+	trunc := runWorkload(t, ex, b, truncOpt, events)
+
+	if trunc.stats.CinvErrorBound <= 0 {
+		t.Fatalf("truncated run reports error bound %g, want > 0", trunc.stats.CinvErrorBound)
+	}
+	if trunc.stats.CinvErrorBound > 1e-6 {
+		t.Fatalf("error bound %g implausibly large for eps=1e-9", trunc.stats.CinvErrorBound)
+	}
+	snap := o.Registry().Snapshot()
+	if snap.Gauges["solver.cinv_error_bound_v"] <= 0 {
+		t.Fatal("obs gauge solver.cinv_error_bound_v not published")
+	}
+	if snap.Gauges["circuit.cinv_nnz"] <= 0 || snap.Gauges["circuit.cinv_truncation_ratio"] <= 0 {
+		t.Fatalf("engine-shape gauges not published: %v / %v",
+			snap.Gauges["circuit.cinv_nnz"], snap.Gauges["circuit.cinv_truncation_ratio"])
+	}
+	if trunc.stats.Events != dense.stats.Events {
+		t.Fatalf("event counts diverged at eps=1e-9: dense %d vs truncated %d",
+			dense.stats.Events, trunc.stats.Events)
+	}
+	for j := range dense.current {
+		d := dense.current[j] - trunc.current[j]
+		if d < 0 {
+			d = -d
+		}
+		scale := 1e-12
+		if a := dense.current[j]; a > scale || -a > scale {
+			scale = a
+			if scale < 0 {
+				scale = -scale
+			}
+		}
+		if d > 1e-3*scale {
+			t.Fatalf("junction %d current: dense %g vs truncated %g", j, dense.current[j], trunc.current[j])
+		}
+	}
+}

@@ -14,33 +14,16 @@ import (
 
 // --- Potentials ---
 //
-// Island potentials are updated exactly and incrementally after every
-// event: moving charge mq from src to dst shifts island k by
-// mq*(Cinv[k][src] - Cinv[k][dst]), a fused pass over two contiguous
-// C^-1 rows. This costs O(islands) floating-point adds per event —
-// orders of magnitude cheaper than the O(junctions) exp-laden rate
-// recomputation the adaptive solver avoids, so adaptivity is applied
-// to rates only. (An earlier lazy-replay scheme deferred these adds
-// per island; its bookkeeping dominated the adaptive solver's cost on
-// the largest benchmarks.)
-
-// shiftPotentials applies the exact potential change of one transfer to
-// every island.
-func (s *Sim) shiftPotentials(src, dst int, mq float64) {
-	v := s.v
-	if k := s.c.IslandIndex(src); k >= 0 {
-		row := s.c.CinvRow(k)
-		for i := range v {
-			v[i] += mq * row[i]
-		}
-	}
-	if k := s.c.IslandIndex(dst); k >= 0 {
-		row := s.c.CinvRow(k)
-		for i := range v {
-			v[i] -= mq * row[i]
-		}
-	}
-}
+// Island potentials are updated incrementally after every event:
+// moving charge mq from src to dst shifts island k by
+// mq*(Cinv[k][src] - Cinv[k][dst]). All C^-1 arithmetic goes through
+// the potential engine s.pe: the dense engine does a fused pass over
+// two full C^-1 rows, O(islands) adds per event; the sparse engine
+// walks only the stored nonzeros of the two ε-truncated rows, O(k).
+// With ε = 0 both engines compute the same floats in the same order,
+// so trajectories are bit-identical. (An earlier lazy-replay scheme
+// deferred these adds per island; its bookkeeping dominated the
+// adaptive solver's cost on the largest benchmarks.)
 
 // nodeV returns the potential of any node.
 func (s *Sim) nodeV(node int) float64 {
@@ -64,7 +47,7 @@ func (s *Sim) nodeV(node int) float64 {
 // src -> dst through junction j (quasi-particle rate in the
 // superconducting state) and returns both the rate and the dW used.
 func (s *Sim) elecRateRaw(j, src, dst int) (rate, dw float64) {
-	dw = s.c.DeltaWElectron(src, dst, s.nodeV(src), s.nodeV(dst))
+	dw = s.pe.DeltaWElectron(src, dst, s.nodeV(src), s.nodeV(dst))
 	if s.superOn {
 		return s.qpTab[j].Rate(dw), dw
 	}
@@ -203,9 +186,9 @@ func (s *Sim) recalcSecondary() {
 func (s *Sim) cotunnelRate(ch *channel, calcs *uint64) float64 {
 	*calcs++
 	vSrc, vMid, vDst := s.nodeV(ch.src), s.nodeV(ch.mid), s.nodeV(ch.dst)
-	dw := s.c.DeltaWElectron(ch.src, ch.dst, vSrc, vDst)
-	e1 := s.c.DeltaWElectron(ch.src, ch.mid, vSrc, vMid)
-	e2 := s.c.DeltaWElectron(ch.mid, ch.dst, vMid, vDst)
+	dw := s.pe.DeltaWElectron(ch.src, ch.dst, vSrc, vDst)
+	e1 := s.pe.DeltaWElectron(ch.src, ch.mid, vSrc, vMid)
+	e2 := s.pe.DeltaWElectron(ch.mid, ch.dst, vMid, vDst)
 	r1, r2 := s.c.Junction(ch.junc).R, s.c.Junction(ch.junc2).R
 	if s.cotK != nil {
 		return s.cotK.Rate(dw, e1, e2, r1, r2, s.opt.Temp)
@@ -223,7 +206,7 @@ func (s *Sim) cooperRate(ch *channel, calcs *uint64) float64 {
 	if ej <= 0 {
 		return 0
 	}
-	dw2 := s.c.DeltaW(ch.src, ch.dst, 2*units.E, s.nodeV(ch.src), s.nodeV(ch.dst))
+	dw2 := s.pe.DeltaW(ch.src, ch.dst, 2*units.E, s.nodeV(ch.src), s.nodeV(ch.dst))
 	gamma := s.qpEscapeAfter(ch, calcs)
 	if floor := s.opt.CPWidthFloor * s.gap / units.Hbar; gamma < floor {
 		gamma = floor
@@ -237,7 +220,7 @@ func (s *Sim) cooperRate(ch *channel, calcs *uint64) float64 {
 func (s *Sim) qpEscapeAfter(ch *channel, calcs *uint64) float64 {
 	shift := func(node int) float64 {
 		if k := s.c.IslandIndex(node); k >= 0 {
-			return s.c.PotentialShift(k, ch.src, ch.dst, 2*units.E)
+			return s.pe.PotentialShift(k, ch.src, ch.dst, 2*units.E)
 		}
 		return 0
 	}
@@ -259,8 +242,8 @@ func (s *Sim) qpEscapeAfter(ch *channel, calcs *uint64) float64 {
 	for _, j := range js {
 		jn := s.c.Junction(j)
 		va, vb := post(jn.A), post(jn.B)
-		total += s.qpTab[j].Rate(s.c.DeltaWElectron(jn.A, jn.B, va, vb))
-		total += s.qpTab[j].Rate(s.c.DeltaWElectron(jn.B, jn.A, vb, va))
+		total += s.qpTab[j].Rate(s.pe.DeltaWElectron(jn.A, jn.B, va, vb))
+		total += s.qpTab[j].Rate(s.pe.DeltaWElectron(jn.B, jn.A, vb, va))
 		*calcs += 2
 	}
 	return total
@@ -268,22 +251,30 @@ func (s *Sim) qpEscapeAfter(ch *channel, calcs *uint64) float64 {
 
 // --- Refresh paths ---
 
-// refreshPotentials recomputes every island potential from scratch (the
-// O(islands^2) matrix-vector product). On large circuits with a pool the
-// rows are sharded across workers — rows are independent, and each
-// worker computes exactly the floats the serial solve would.
+// refreshPotentials recomputes every island potential from scratch: an
+// O(islands^2) matrix-vector product on the dense engine, O(stored nnz)
+// on the sparse one. On large circuits with a pool the rows are sharded
+// across workers — by nonzero count on sparse engines (shardBounds), by
+// row count otherwise. Rows are independent, and each worker computes
+// exactly the floats the serial solve would.
 func (s *Sim) refreshPotentials() {
 	ni := s.c.NumIslands()
-	if s.pool == nil || ni < parallelCutoff {
-		s.v = s.c.IslandPotentials(s.v, s.n, s.t)
-		return
-	}
 	if s.qScratch == nil {
 		s.qScratch = make([]float64, ni)
 	}
 	s.c.ChargeVector(s.qScratch, s.n)
+	if s.pool == nil || ni < parallelCutoff {
+		s.pe.SolveRange(s.v, s.qScratch, s.vext, 0, ni)
+		return
+	}
+	if s.shardBounds != nil {
+		s.pool.runRanges(s.shardBounds, func(_, lo, hi int) {
+			s.pe.SolveRange(s.v, s.qScratch, s.vext, lo, hi)
+		})
+		return
+	}
 	s.pool.run(ni, func(_, lo, hi int) {
-		s.c.IslandPotentialsRange(s.v, s.qScratch, s.vext, lo, hi)
+		s.pe.SolveRange(s.v, s.qScratch, s.vext, lo, hi)
 	})
 }
 
@@ -305,6 +296,23 @@ func (s *Sim) fullRefresh() {
 	s.stats.FullRefreshes++
 	s.vext = s.c.ExternalVoltages(s.vext, s.t)
 	s.refreshPotentials()
+	if s.pe.Truncated() {
+		// The refresh recomputed potentials from the truncated rows, so
+		// the accumulated per-event error collapses to the solve bound.
+		qmax, vmax := 0.0, 0.0
+		for _, x := range s.qScratch {
+			if a := math.Abs(x); a > qmax {
+				qmax = a
+			}
+		}
+		for _, x := range s.vext {
+			if a := math.Abs(x); a > vmax {
+				vmax = a
+			}
+		}
+		s.stats.CinvErrorBound = s.pe.RefreshErrorBound(qmax, vmax)
+		s.obs.CinvBound(s.stats.CinvErrorBound)
+	}
 	s.refreshAllJunctions()
 	s.recalcSecondary()
 	s.fen.rebuild()
@@ -343,7 +351,7 @@ func (s *Sim) nonAdaptiveUpdate() {
 func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue []int) []int {
 	deltaP := func(node int) float64 {
 		if k := s.c.IslandIndex(node); k >= 0 {
-			return s.c.PotentialShift(k, ch.src, ch.dst, ch.q)
+			return s.pe.PotentialShift(k, ch.src, ch.dst, ch.q)
 		}
 		return 0
 	}
@@ -412,12 +420,23 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 	if !changed {
 		return queue
 	}
-	// Apply the exact external shift to every island potential.
+	// Apply the external shift to every island potential (exact up to
+	// the engine's mext truncation, whose error is accounted below).
 	ni := s.c.NumIslands()
 	dv := make([]float64, ni)
-	s.c.ExternalDelta(dv, s.vext, vextNew)
+	s.pe.ExternalDelta(dv, s.vext, vextNew)
 	for k := 0; k < ni; k++ {
 		s.v[k] += dv[k]
+	}
+	if s.pe.Truncated() {
+		dvmax := 0.0
+		for i := range vextNew {
+			if a := math.Abs(vextNew[i] - s.vext[i]); a > dvmax {
+				dvmax = a
+			}
+		}
+		s.stats.CinvErrorBound += s.pe.InputErrorBound(dvmax)
+		s.obs.CinvBound(s.stats.CinvErrorBound)
 	}
 	dext := make(map[int]float64)
 	for i, id := range s.c.Externals() {
@@ -489,10 +508,14 @@ var obsKinds = [...]obs.Kind{
 func (s *Sim) apply(ch *channel) float64 {
 	// Free energy released by this event (evaluated with the exact
 	// pre-event potentials; thermal fluctuations can make it negative).
-	dw := s.c.DeltaW(ch.src, ch.dst, ch.q, s.nodeV(ch.src), s.nodeV(ch.dst))
+	dw := s.pe.DeltaW(ch.src, ch.dst, ch.q, s.nodeV(ch.src), s.nodeV(ch.dst))
 	s.stats.Dissipated += -dw
 	s.c.ApplyTransfer(s.n, ch.src, ch.dst, ch.carriers)
-	s.shiftPotentials(ch.src, ch.dst, ch.q)
+	touched := s.pe.Shift(s.v, ch.src, ch.dst, ch.q)
+	s.obs.EventTouched(touched)
+	// Truncated rows shift each potential with a bounded per-event
+	// error; exact engines contribute exactly zero here.
+	s.stats.CinvErrorBound += s.pe.EventErrorBound(ch.q)
 	// Conventional current A->B is positive charge A->B; electrons
 	// moving src->dst carry -q, so charge +q flows dst->src.
 	sign := func(jid int, src int) float64 {

@@ -36,6 +36,12 @@ func ExpandLogic(nl *LogicNetlist, p LogicParams, drive map[string]Source) (*Exp
 	return nl.Expand(p, drive)
 }
 
+// ExpandLogicWith is ExpandLogic with explicit circuit build options,
+// e.g. the sparse potential engine for large benchmarks.
+func ExpandLogicWith(nl *LogicNetlist, p LogicParams, drive map[string]Source, bo BuildOptions) (*ExpandedLogic, error) {
+	return nl.ExpandWith(p, drive, bo)
+}
+
 // Benchmark is one entry of the paper's 15-circuit evaluation suite.
 type Benchmark = bench.Benchmark
 

@@ -104,6 +104,11 @@ type SETNodes = circuit.SETNodes
 // and sources, then call Build.
 func NewCircuit() *Circuit { return circuit.New() }
 
+// BuildOptions selects the potential backend assembled by
+// Circuit.BuildWith: the dense inverse (zero value) or the sparse
+// locality-aware engine, optionally with epsilon-truncated C^-1 rows.
+type BuildOptions = circuit.BuildOptions
+
 // NewSET builds a standalone single-electron transistor (Fig. 1a).
 func NewSET(cfg SETConfig) (*Circuit, SETNodes) { return circuit.NewSET(cfg) }
 
