@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test unit race bench zero-alloc rate-engine potential-engine obs-overhead experiments quick-experiments fmt vet lint debug fuzz
+.PHONY: all build test unit race bench zero-alloc rate-engine potential-engine obs-overhead experiments quick-experiments fmt vet lint debug fuzz docs-verify
 
 all: build test
 
@@ -8,10 +8,11 @@ build:
 	go build ./...
 
 # The default test flow: static checks (go vet plus the semsimlint
-# analyzer suite), the full unit suite, the semsimdebug invariant build,
-# then the race detector over the packages with internal concurrency
-# (the within-run parallel rate engine and the sweep/bench fan-outs).
-test: vet lint unit debug race zero-alloc
+# analyzer suite), documentation verification, the full unit suite, the
+# semsimdebug invariant build, then the race detector over the packages
+# with internal concurrency (the within-run parallel rate engine, the
+# sweep/bench fan-outs and the batch job engine).
+test: vet lint docs-verify unit debug race zero-alloc
 
 unit:
 	go test ./...
@@ -23,7 +24,16 @@ debug:
 	go test -tags semsimdebug ./...
 
 race:
-	go test -race ./internal/solver/... ./internal/sweep/... ./internal/bench/... ./internal/obs/...
+	go test -race ./internal/solver/... ./internal/sweep/... ./internal/bench/... ./internal/obs/... ./internal/jobs/...
+
+# Documentation is executable: every ```deck example in docs/DECK.md
+# must parse, round-trip through the canonical writer and compile, the
+# doc must cover every parser directive, and the doccomment analyzer
+# (with its fixtures) must hold over the public surface.
+docs-verify: bin/semsimlint
+	go test -run 'TestDeckDoc' ./internal/netlist/
+	go test -run 'TestDoccomment' ./internal/lint/
+	go vet -vettool=bin/semsimlint . ./internal/jobs/...
 
 # Disabled observability must stay literally free (nil-receiver hooks
 # at 0 allocs/op), and so must the per-event potential update of both

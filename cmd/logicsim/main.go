@@ -14,14 +14,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"semsim"
 	"semsim/internal/bench"
+	"semsim/internal/jobs"
 	"semsim/internal/obs"
 )
 
@@ -35,6 +40,9 @@ var (
 	sparse    = flag.Bool("sparse", false, "use the sparse locality-aware potential engine (bit-identical to dense at -cinv-eps 0)")
 	cinvEps   = flag.Float64("cinv-eps", 0, "truncate C^-1 rows at eps*rowmax; implies -sparse and skips the dense inverse entirely")
 	vcdPath   = flag.String("vcd", "", "write the watched waveform as VCD to this file")
+	ckptPath  = flag.String("checkpoint", "", "persist periodic atomic snapshots of the run to this file (crash-safe)")
+	ckptEvery = flag.Int("checkpoint-every", 0, "target events between snapshots (0 = default; rounded up to the solver refresh period)")
+	resume    = flag.Bool("resume", false, "continue from the -checkpoint file (bit-identical to an uninterrupted run)")
 	obsAddr   = flag.String("obs-addr", "", "serve live metrics, trace and pprof on this address (e.g. :6060)")
 	traceFile = flag.String("trace", "", "write a Chrome trace_event journal of the run to this file")
 	progress  = flag.Bool("progress", false, "print periodic progress lines to stderr")
@@ -127,7 +135,40 @@ func main() {
 	}
 	outNode := ex.Wire[out]
 	sim.AddProbe(outNode)
-	if _, err := sim.Run(0, stepAt+bench.ObserveFor); err != nil && err != semsim.ErrBlockaded {
+
+	if *resume {
+		if *ckptPath == "" {
+			fatal(fmt.Errorf("-resume needs -checkpoint"))
+		}
+		cp, err := jobs.LoadSim(*ckptPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.Restore(cp); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed from %s: %d events, t = %.3f us\n",
+			*ckptPath, sim.Stats().Events, sim.Time()*1e6)
+	}
+
+	// With a checkpoint file configured, SIGINT/SIGTERM drains: the run
+	// persists a final snapshot at its next refresh boundary and exits
+	// resumable instead of losing the progress.
+	runCtx := context.Background()
+	var ck *jobs.Checkpointer
+	if *ckptPath != "" {
+		ck = &jobs.Checkpointer{Path: *ckptPath, Every: *ckptEvery}
+		var cancel context.CancelFunc
+		runCtx, cancel = signal.NotifyContext(runCtx, syscall.SIGINT, syscall.SIGTERM)
+		defer cancel()
+	}
+	_, err = jobs.RunSim(runCtx, sim, 0, stepAt+bench.ObserveFor, ck)
+	if errors.Is(err, jobs.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "logicsim: interrupted at %d events; resume with -checkpoint %s -resume\n",
+			sim.Stats().Events, *ckptPath)
+		os.Exit(3)
+	}
+	if err != nil && err != semsim.ErrBlockaded {
 		fatal(err)
 	}
 

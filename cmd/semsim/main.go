@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"semsim"
 	"semsim/internal/obs"
@@ -29,11 +33,15 @@ func main() {
 	rateTables := flag.Bool("rate-tables", false, "evaluate normal-state rates through error-bounded interpolation tables (<1e-6 relative error)")
 	sparse := flag.Bool("sparse", false, "use the sparse locality-aware potential engine (bit-identical to dense at -cinv-eps 0)")
 	cinvEps := flag.Float64("cinv-eps", 0, "truncate C^-1 rows at eps*rowmax (implies -sparse; solver tracks a provable error bound)")
+	ckptDir := flag.String("checkpoint-dir", "", "persist periodic atomic checkpoints of every run in this directory (crash-safe; created if missing)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "target events between checkpoints (0 = default; rounded up to the solver refresh period)")
+	resume := flag.Bool("resume", false, "continue from checkpoints found in -checkpoint-dir (bit-identical to an uninterrupted run)")
+	deckWorkers := flag.Int("workers", 1, "concurrent (point, run) tasks (results are bit-identical at any value)")
 	obsAddr := flag.String("obs-addr", "", "serve live metrics, trace and pprof on this address (e.g. :6060)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event journal of the run to this file")
 	progress := flag.Bool("progress", false, "print periodic progress lines to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: semsim [-o out.dat] [-parallel n] [-rate-tables] [-sparse] [-cinv-eps e] [-obs-addr :6060] [-trace run.json] [-progress] [input.cir]\n")
+		fmt.Fprintf(os.Stderr, "usage: semsim [-o out.dat] [-parallel n] [-rate-tables] [-sparse] [-cinv-eps e] [-checkpoint-dir d] [-resume] [-workers n] [-obs-addr :6060] [-trace run.json] [-progress] [input.cir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,12 +72,45 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pts, err := semsim.RunDeckWith(deck, semsim.DeckOverrides{
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	// With checkpointing on, the first SIGINT/SIGTERM drains: in-flight
+	// runs persist a final snapshot at their next refresh boundary and
+	// the process exits resumable. A second signal kills immediately.
+	stop := make(chan struct{})
+	if *ckptDir != "" {
+		sigs := make(chan os.Signal, 2)
+		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			fmt.Fprintln(os.Stderr, "semsim: checkpointing and stopping (signal again to abort)")
+			close(stop)
+			<-sigs
+			os.Exit(1)
+		}()
+	}
+	pts, err := semsim.RunDeckCtx(context.Background(), deck, semsim.DeckOverrides{
 		Parallel:   *parallel,
 		RateTables: *rateTables,
 		Sparse:     *sparse,
 		CinvEps:    *cinvEps,
+	}, semsim.DeckRunConfig{
+		Dir:     *ckptDir,
+		Every:   *ckptEvery,
+		Resume:  *resume,
+		Workers: *deckWorkers,
+		Stop:    stop,
 	})
+	if errors.Is(err, semsim.ErrDeckInterrupted) {
+		fmt.Fprintf(os.Stderr, "semsim: interrupted; resume with: semsim -checkpoint-dir %s -resume %s\n", *ckptDir, name)
+		os.Exit(3)
+	}
 	if err != nil {
 		fatal(err)
 	}

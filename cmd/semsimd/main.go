@@ -1,0 +1,124 @@
+// Command semsimd is the batch simulation daemon: it accepts input
+// decks over an HTTP JSON API, fans each deck out into independent
+// (sweep point, run) tasks on a bounded worker pool, checkpoints every
+// run periodically (atomic write-temp-and-rename files), and resumes
+// interrupted work bit-identically — a deck resubmitted after a crash
+// or drain picks up exactly where its checkpoints left off.
+//
+// Usage:
+//
+//	semsimd [-addr :8723] [-dir semsimd-data] [-workers n] [flags]
+//
+// API (see docs/DECK.md for the deck format):
+//
+//	POST /api/v1/jobs             {"deck": "...", "overrides": {...}}
+//	GET  /api/v1/jobs             list all jobs
+//	GET  /api/v1/jobs/{id}        job status
+//	GET  /api/v1/jobs/{id}/result folded sweep points (when done)
+//	POST /api/v1/jobs/{id}/cancel abort a job
+//	GET  /healthz                 liveness
+//	GET  /metrics /trace /heatmap /debug/pprof/   observability
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: no new tasks start,
+// in-flight runs persist a final checkpoint at their next refresh
+// boundary, and the process exits once every worker has stopped (or
+// after -drain-timeout, whichever comes first). A second signal aborts
+// immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"semsim/internal/jobs"
+	"semsim/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "HTTP listen address")
+	dir := flag.String("dir", "semsimd-data", "checkpoint directory (created if missing; empty disables crash-safety)")
+	workers := flag.Int("workers", 0, "concurrent (point, run) tasks across all jobs (0 = GOMAXPROCS)")
+	every := flag.Int("checkpoint-every", 0, "target events between checkpoints (0 = default; rounded up to the solver refresh period)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock timeout (0 = unlimited)")
+	retries := flag.Int("retries", 0, "retries per task for transient failures (0 = default of 2, negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a graceful shutdown may take before aborting")
+	traceOn := flag.Bool("trace-journal", false, "record the run journal (served at /trace)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: semsimd [-addr :8723] [-dir semsimd-data] [-workers n] [-checkpoint-every n] [-job-timeout d] [-retries n] [-drain-timeout d] [-trace-journal]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	o := obs.New(obs.Config{Trace: *traceOn})
+	obs.SetGlobal(o)
+
+	engine := jobs.NewEngine(jobs.EngineConfig{
+		Workers:         *workers,
+		CheckpointDir:   *dir,
+		CheckpointEvery: *every,
+		JobTimeout:      *jobTimeout,
+		MaxRetries:      *retries,
+		Obs:             o,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: jobs.NewHandler(engine, o)}
+	fmt.Fprintf(os.Stderr, "semsimd: listening on %s (checkpoints in %q)\n", ln.Addr(), *dir)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "semsimd: %v — draining (checkpointing in-flight runs; signal again to abort)\n", sig)
+	}
+
+	// Stop accepting API requests, then drain the engine. A second
+	// signal (or the drain timeout) aborts the drain.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "semsimd: aborting")
+		cancel()
+	}()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "semsimd:", err)
+	}
+	if err := engine.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "semsimd: drain incomplete:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "semsimd: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "semsimd:", err)
+	os.Exit(1)
+}

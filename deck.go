@@ -1,15 +1,15 @@
 package semsim
 
 import (
-	"fmt"
+	"context"
 	"io"
 
+	"semsim/internal/jobs"
 	"semsim/internal/netlist"
-	"semsim/internal/solver"
 )
 
 // Deck is a parsed SPICE-like input file (the paper's Example Input
-// File 1 format; see the netlist documentation in README.md).
+// File 1 format; see docs/DECK.md for the full directive reference).
 type Deck = netlist.Deck
 
 // CompiledDeck is one instantiation of a deck: a built circuit plus the
@@ -19,40 +19,26 @@ type CompiledDeck = netlist.Compiled
 // ParseNetlist reads a simulation deck.
 func ParseNetlist(r io.Reader) (*Deck, error) { return netlist.Parse(r) }
 
-// DeckPoint is one operating point of an executed deck.
-type DeckPoint struct {
-	// SweepV is the swept source value (0 when the deck has no sweep).
-	SweepV float64
-	// Current holds the measured current per recorded junction
-	// (netlist junction ids), averaged over the deck's runs.
-	Current map[int]float64
-	// Blockaded marks points where no event was possible.
-	Blockaded bool
-	// Events is the total tunnel events across runs.
-	Events uint64
-}
+// DeckPoint is one operating point of an executed deck: the swept
+// source value, the per-junction currents averaged over the deck's
+// runs, and the measured event count.
+type DeckPoint = jobs.Point
 
-// DeckOverrides adjusts solver settings the deck file format cannot
-// express (engine knobs rather than physics).
-type DeckOverrides struct {
-	// Parallel is the within-run worker count of the rate engine
-	// (0 = solver default, GOMAXPROCS; 1 = serial). Bit-identical to
-	// serial at any value — purely a speed knob.
-	Parallel int
-	// RateTables routes normal-state orthodox and cotunneling rates
-	// through the shared error-bounded interpolation tables (relative
-	// error < 1e-6).
-	RateTables bool
-	// Sparse forces the sparse locality-aware potential engine even
-	// when the deck does not request it. With CinvEps = 0 the engine is
-	// exact and trajectories stay bit-identical to the dense engine.
-	Sparse bool
-	// CinvEps, when > 0, truncates C^-1 rows at CinvEps*rowmax
-	// (implies Sparse) and overrides the deck's cinv-eps value. The
-	// solver then accumulates a provable potential-error bound in its
-	// Stats.
-	CinvEps float64
-}
+// DeckOverrides adjusts engine settings on top of the deck's own
+// directives (command-line flags win over the file): within-run
+// parallelism, tabulated rate kernels, and the sparse potential engine
+// with its C^-1 truncation threshold.
+type DeckOverrides = jobs.Overrides
+
+// DeckRunConfig tunes RunDeckCtx: checkpoint directory and cadence,
+// resume, task concurrency, and a drain channel. The zero value
+// matches RunDeck exactly.
+type DeckRunConfig = jobs.RunConfig
+
+// ErrDeckInterrupted is returned by RunDeckCtx when a drain request
+// (DeckRunConfig.Stop) stopped the execution after checkpointing: the
+// run is incomplete but resumable with DeckRunConfig.Resume.
+var ErrDeckInterrupted = jobs.ErrInterrupted
 
 // RunDeck executes a deck: for each sweep point (or once, without a
 // sweep) it compiles the circuit, runs the configured number of jumps
@@ -64,98 +50,15 @@ func RunDeck(d *Deck) ([]DeckPoint, error) {
 
 // RunDeckWith is RunDeck with engine overrides applied to every point.
 func RunDeckWith(d *Deck, ov DeckOverrides) ([]DeckPoint, error) {
-	spec := d.Spec
-	if len(spec.RecordJuncs) == 0 {
-		return nil, fmt.Errorf("semsim: deck records no junctions (add a 'record' line)")
-	}
-	if spec.Jumps == 0 && spec.MaxTime == 0 {
-		return nil, fmt.Errorf("semsim: deck sets neither 'jumps' nor 'time'")
-	}
+	return jobs.ExecuteDeck(context.Background(), d, ov, jobs.RunConfig{})
+}
 
-	var sweepVals []float64
-	if sw := spec.Sweep; sw != nil {
-		for v := -sw.Max; v <= sw.Max+sw.Step/2; v += sw.Step {
-			sweepVals = append(sweepVals, v)
-		}
-	} else {
-		sweepVals = []float64{0}
-	}
-
-	// Engine selection: the deck's sparse/cinv-eps directives choose the
-	// build; overrides can force the sparse view or a coarser truncation
-	// on top (a dense build can derive any sparse view on demand).
-	sparse := spec.Sparse || ov.Sparse || ov.CinvEps > 0
-	eps := spec.CinvEps
-	if ov.CinvEps > 0 {
-		eps = ov.CinvEps
-	}
-
-	var out []DeckPoint
-	for i, v := range sweepVals {
-		override := map[int]float64{}
-		if sw := spec.Sweep; sw != nil {
-			override[sw.Node] = v
-			if sw.Mirror >= 0 {
-				override[sw.Mirror] = -v
-			}
-		}
-		pt := DeckPoint{SweepV: v, Current: map[int]float64{}}
-		runs := spec.Runs
-		if runs < 1 {
-			runs = 1
-		}
-		for run := 0; run < runs; run++ {
-			cc, err := d.Compile(override)
-			if err != nil {
-				return nil, err
-			}
-			opt := Options{
-				Temp:             spec.Temp,
-				Cotunneling:      spec.Cotunnel,
-				Adaptive:         spec.Adaptive,
-				Alpha:            spec.Alpha,
-				RefreshEvery:     spec.RefreshEvery,
-				Seed:             spec.Seed + uint64(i)*1009 + uint64(run)*104729,
-				Parallel:         ov.Parallel,
-				RateTables:       ov.RateTables,
-				SparsePotentials: sparse,
-				CinvTruncation:   eps,
-			}
-			s, err := NewSim(cc.Circuit, opt)
-			if err != nil {
-				return nil, err
-			}
-			err = func() error {
-				defer s.Close()
-				// Warm up for a fifth of the budget, then measure.
-				warm := spec.Jumps / 5
-				if _, err := s.Run(warm, spec.MaxTime/5); err != nil {
-					return err
-				}
-				s.ResetMeasurement()
-				n, err := s.Run(spec.Jumps, spec.MaxTime)
-				if err != nil {
-					return err
-				}
-				pt.Events += n
-				for _, j := range spec.RecordJuncs {
-					cj, ok := cc.Junc[j]
-					if !ok {
-						return fmt.Errorf("semsim: deck records unknown junction %d", j)
-					}
-					pt.Current[j] += s.JunctionCurrent(cj) / float64(runs)
-				}
-				return nil
-			}()
-			if err == solver.ErrBlockaded {
-				pt.Blockaded = true
-				continue
-			}
-			if err != nil {
-				return nil, err
-			}
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+// RunDeckCtx is the full-control deck executor: cancelable through
+// ctx, optionally crash-safe (periodic atomic checkpoints in cfg.Dir,
+// resumed bit-identically with cfg.Resume), and parallel across
+// (point, run) tasks up to cfg.Workers with deterministic folding —
+// the result is bit-identical at any worker count. See the jobs
+// package for the determinism argument.
+func RunDeckCtx(ctx context.Context, d *Deck, ov DeckOverrides, cfg DeckRunConfig) ([]DeckPoint, error) {
+	return jobs.ExecuteDeck(ctx, d, ov, cfg)
 }

@@ -1,0 +1,531 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"semsim/internal/netlist"
+	"semsim/internal/obs"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Queued jobs wait for a worker; running jobs have at
+// least one task in flight; the terminal states are done, failed and
+// canceled; interrupted jobs were drained mid-flight with their
+// progress checkpointed — resubmitting the same deck resumes them.
+const (
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCanceled    State = "canceled"
+	StateInterrupted State = "interrupted"
+)
+
+// EngineConfig tunes an Engine. The zero value is usable: GOMAXPROCS
+// workers, no checkpointing, no timeout, two retries.
+type EngineConfig struct {
+	// Workers bounds how many (point, run) tasks run concurrently across
+	// all jobs (0 = GOMAXPROCS). When Workers > 1 and neither the deck
+	// nor the submission picked a within-run worker count, tasks default
+	// to serial rate evaluation — run-level parallelism already fills
+	// the machine, and the trajectory is bit-identical either way.
+	Workers int
+	// CheckpointDir is where per-task checkpoint files live; empty
+	// disables crash-safety (jobs restart from scratch after a crash).
+	CheckpointDir string
+	// CheckpointEvery is the target events between checkpoints (0 = the
+	// package default; always rounded up to the solver refresh period).
+	CheckpointEvery int
+	// JobTimeout caps each job's wall-clock lifetime from submission
+	// (0 = unlimited). Expired jobs fail with context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// MaxRetries bounds per-task retries of transient failures
+	// (checkpoint I/O); < 0 disables retries, 0 means the default of 2.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry, doubling
+	// per attempt (0 = 250ms).
+	RetryBackoff time.Duration
+	// Obs receives engine metrics (jobs submitted/done/failed, retries);
+	// nil falls back to the process-global observer.
+	Obs *obs.Observer
+}
+
+// Job is one submitted deck execution tracked by an Engine. All fields
+// are managed by the engine; read them through Status and Result.
+type Job struct {
+	id       string
+	deck     *netlist.Deck
+	deckText string
+	ov       Overrides
+	key      string
+	vals     []float64
+	runs     int
+
+	// Mutable state, guarded by the engine mutex.
+	state     State
+	err       error
+	created   time.Time
+	finished  time.Time
+	done      int // completed tasks
+	total     int
+	resumed   int // tasks that picked up a checkpoint
+	results   [][]runResult
+	points    []Point
+	ctx       context.Context
+	cancel    context.CancelFunc
+	completed chan struct{} // closed when the job reaches a terminal state
+}
+
+// JobStatus is a JSON-friendly snapshot of a job's progress.
+type JobStatus struct {
+	ID         string  `json:"id"`
+	State      State   `json:"state"`
+	Error      string  `json:"error,omitempty"`
+	Key        string  `json:"key"`
+	Points     int     `json:"points"`
+	RunsPer    int     `json:"runs_per_point"`
+	TasksDone  int     `json:"tasks_done"`
+	TasksTotal int     `json:"tasks_total"`
+	Resumed    int     `json:"tasks_resumed,omitempty"`
+	CreatedAt  string  `json:"created_at"`
+	FinishedAt string  `json:"finished_at,omitempty"`
+	RuntimeSec float64 `json:"runtime_sec"`
+}
+
+// task is one schedulable unit: a (point, run) pair of a job.
+type task struct {
+	job     *Job
+	point   int
+	run     int
+	attempt int
+}
+
+// Engine executes submitted decks on a bounded worker pool with
+// crash-safe checkpointing, per-job timeouts, bounded retry of
+// transient failures, cancellation and graceful drain. Create one with
+// NewEngine and stop it with Shutdown (drain) or Close (abort).
+type Engine struct {
+	cfg   EngineConfig
+	drain chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []task
+	jobs   map[string]*Job
+	seq    int
+	closed bool
+
+	// runTask is the task executor; tests substitute a scripted one.
+	runTask func(ctx context.Context, t task, cfg RunConfig) (runResult, error)
+}
+
+// NewEngine starts an engine with cfg.Workers worker goroutines.
+func NewEngine(cfg EngineConfig) *Engine {
+	return newEngine(cfg, nil)
+}
+
+// newEngine is the real constructor; tests pass a scripted runTask to
+// unit-test scheduling, retry and drain without running simulations.
+func newEngine(cfg EngineConfig, runTask func(ctx context.Context, t task, cfg RunConfig) (runResult, error)) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	e := &Engine{
+		cfg:   cfg,
+		drain: make(chan struct{}),
+		jobs:  map[string]*Job{},
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.runTask = runTask
+	if e.runTask == nil {
+		e.runTask = func(ctx context.Context, t task, cfg RunConfig) (runResult, error) {
+			return runDeckPoint(ctx, t.job.deck, t.job.ov, t.job.key, t.point, t.job.vals[t.point], t.run, cfg)
+		}
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) observer() *obs.Observer {
+	if e.cfg.Obs != nil {
+		return e.cfg.Obs
+	}
+	return obs.Global()
+}
+
+func (e *Engine) count(name string) {
+	if o := e.observer(); o != nil {
+		o.Registry().Counter(name).Add(1)
+	}
+}
+
+// Submit queues a deck for execution and returns its job id. The deck
+// is validated up front; scheduling is asynchronous. Submitting a deck
+// whose previous job was interrupted (or crashed) resumes from the
+// persisted checkpoints automatically — the checkpoint key is derived
+// from the deck content, not the job id.
+func (e *Engine) Submit(d *netlist.Deck, ov Overrides) (*Job, error) {
+	if err := validateDeck(d); err != nil {
+		return nil, err
+	}
+	if e.cfg.Workers > 1 && ov.Parallel == 0 && d.Spec.Parallel == 0 {
+		// Run-level parallelism already fills the machine; per-task worker
+		// pools would only oversubscribe. Parallel never changes the
+		// trajectory (or the checkpoint key), so this is purely a
+		// scheduling choice.
+		ov.Parallel = 1
+	}
+	key, err := deckKey(d, ov)
+	if err != nil {
+		return nil, err
+	}
+	var text bytes.Buffer // canonical deck text, kept for status/debugging
+	if err := d.Format(&text); err != nil {
+		return nil, err
+	}
+	spec := d.Spec
+	vals := sweepValues(&spec)
+	runs := spec.Runs
+	if runs < 1 {
+		runs = 1
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, errors.New("jobs: engine is shut down")
+	}
+	e.seq++
+	j := &Job{
+		id:        fmt.Sprintf("j%06d", e.seq),
+		deck:      d,
+		deckText:  text.String(),
+		ov:        ov,
+		key:       key,
+		vals:      vals,
+		runs:      runs,
+		state:     StateQueued,
+		created:   time.Now(),
+		total:     len(vals) * runs,
+		completed: make(chan struct{}),
+	}
+	j.results = make([][]runResult, len(vals))
+	for i := range j.results {
+		j.results[i] = make([]runResult, runs)
+	}
+	base := context.Background()
+	if e.cfg.JobTimeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(base, e.cfg.JobTimeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(base)
+	}
+	e.jobs[j.id] = j
+	for i := range vals {
+		for r := 0; r < runs; r++ {
+			e.queue = append(e.queue, task{job: j, point: i, run: r})
+		}
+	}
+	e.count("jobs.submitted")
+	e.cond.Broadcast()
+	return j, nil
+}
+
+// Job returns the job with the given id, or nil.
+func (e *Engine) Job(id string) *Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.jobs[id]
+}
+
+// Jobs returns a status snapshot of every known job, sorted by id.
+func (e *Engine) Jobs() []JobStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]JobStatus, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		out = append(out, e.statusLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Cancel aborts a job: queued tasks are dropped and running tasks stop
+// at their next chunk boundary without a final checkpoint. It reports
+// whether the id was known.
+func (e *Engine) Cancel(id string) bool {
+	e.mu.Lock()
+	j := e.jobs[id]
+	e.mu.Unlock()
+	if j == nil {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// Status returns a snapshot of the job's progress.
+func (e *Engine) Status(j *Job) JobStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statusLocked(j)
+}
+
+func (e *Engine) statusLocked(j *Job) JobStatus {
+	st := JobStatus{
+		ID: j.id, State: j.state, Key: j.key,
+		Points: len(j.vals), RunsPer: j.runs,
+		TasksDone: j.done, TasksTotal: j.total, Resumed: j.resumed,
+		CreatedAt: j.created.UTC().Format(time.RFC3339),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	end := time.Now()
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339)
+		end = j.finished
+	}
+	st.RuntimeSec = end.Sub(j.created).Seconds()
+	return st
+}
+
+// Result returns the folded points of a completed job. It errors until
+// the job reaches StateDone.
+func (e *Engine) Result(j *Job) ([]Point, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.points, nil
+	case StateFailed:
+		return nil, fmt.Errorf("jobs: job %s failed: %w", j.id, j.err)
+	case StateCanceled:
+		return nil, fmt.Errorf("jobs: job %s was canceled", j.id)
+	case StateInterrupted:
+		return nil, fmt.Errorf("jobs: job %s was interrupted; resubmit the deck to resume", j.id)
+	default:
+		return nil, fmt.Errorf("jobs: job %s is %s (%d/%d tasks)", j.id, j.state, j.done, j.total)
+	}
+}
+
+// ID returns the job's engine-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Wait blocks until the job reaches a terminal state or ctx is
+// canceled.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.completed:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) draining() bool {
+	select {
+	case <-e.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		t := e.queue[0]
+		e.queue = e.queue[1:]
+		if t.job.state == StateQueued {
+			t.job.state = StateRunning
+		}
+		e.mu.Unlock()
+
+		switch {
+		case t.job.ctx.Err() != nil:
+			// Canceled or timed out before this task started.
+			e.finishTask(t, runResult{}, t.job.ctx.Err())
+			continue
+		case e.draining():
+			// A draining engine starts no new work; the job stays
+			// resumable via its checkpoints.
+			e.finishTask(t, runResult{}, ErrInterrupted)
+			continue
+		}
+
+		cfg := RunConfig{
+			Dir:    e.cfg.CheckpointDir,
+			Every:  e.cfg.CheckpointEvery,
+			Resume: e.cfg.CheckpointDir != "",
+			Stop:   e.drain,
+		}
+		res, err := e.runTask(t.job.ctx, t, cfg)
+		if err != nil && isTransient(err) && t.attempt < e.cfg.MaxRetries &&
+			t.job.ctx.Err() == nil && !e.draining() {
+			e.count("jobs.task_retries")
+			if e.backoff(t) {
+				continue // requeued
+			}
+		}
+		e.finishTask(t, res, err)
+	}
+}
+
+// backoff sleeps the task's exponential backoff delay and requeues it,
+// unless the job is canceled or the engine drains first (then the
+// task's error stands). It reports whether the task was requeued.
+func (e *Engine) backoff(t task) bool {
+	d := e.cfg.RetryBackoff << uint(t.attempt)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-t.job.ctx.Done():
+		return false
+	case <-e.drain:
+		return false
+	}
+	t.attempt++
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return false
+	}
+	e.queue = append(e.queue, t)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return true
+}
+
+// finishTask records a task outcome and finalizes the job when it was
+// the last one.
+func (e *Engine) finishTask(t task, res runResult, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j := t.job
+	j.done++
+	if err == nil {
+		j.results[t.point][t.run] = res
+	} else if j.err == nil || errors.Is(j.err, ErrInterrupted) || errors.Is(j.err, context.Canceled) {
+		// Keep the most informative error: real failures trump the
+		// interrupts/cancellations they trigger on sibling tasks.
+		if j.err == nil || (!errors.Is(err, ErrInterrupted) && !errors.Is(err, context.Canceled)) {
+			j.err = err
+		}
+	}
+	if j.done < j.total {
+		return
+	}
+	j.finished = time.Now()
+	switch {
+	case j.err == nil:
+		spec := j.deck.Spec
+		j.points = foldResults(&spec, j.vals, j.results)
+		j.state = StateDone
+		e.count("jobs.done")
+		if dir := e.cfg.CheckpointDir; dir != "" {
+			// The job folded; its per-task done markers are obsolete.
+			for i := range j.vals {
+				for r := 0; r < j.runs; r++ {
+					os.Remove(checkpointPath(dir, j.key, i, r))
+				}
+			}
+		}
+	case errors.Is(j.err, ErrInterrupted):
+		j.state = StateInterrupted
+		e.count("jobs.interrupted")
+	case errors.Is(j.err, context.Canceled), errors.Is(j.err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		e.count("jobs.canceled")
+	default:
+		j.state = StateFailed
+		e.count("jobs.failed")
+	}
+	j.cancel() // release the timeout timer
+	close(j.completed)
+}
+
+// Shutdown drains the engine gracefully: no new tasks start, in-flight
+// runs persist a checkpoint at their next refresh boundary and finish
+// as interrupted, and Shutdown returns when every worker has stopped or
+// ctx expires — in which case it hard-cancels everything still running
+// and waits for the workers to notice.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.drain)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		e.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close aborts the engine: every job is canceled and workers exit as
+// soon as their current chunk completes. Prefer Shutdown.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.drain)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.cancelAll()
+	e.wg.Wait()
+}
+
+func (e *Engine) cancelAll() {
+	e.mu.Lock()
+	jobs := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+}

@@ -1,0 +1,133 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"semsim/internal/netlist"
+	"semsim/internal/obs"
+)
+
+// SubmitRequest is the POST /api/v1/jobs body: the deck text (the
+// SPICE-like input-file dialect, see docs/DECK.md) plus optional engine
+// overrides.
+type SubmitRequest struct {
+	// Deck is the full input deck as text.
+	Deck string `json:"deck"`
+	// Overrides are engine knobs applied on top of the deck.
+	Overrides Overrides `json:"overrides"`
+}
+
+// SubmitResponse answers a job submission.
+type SubmitResponse struct {
+	// ID identifies the job for the status/result/cancel endpoints.
+	ID string `json:"id"`
+	// Points and RunsPerPoint size the work the deck expanded into.
+	Points       int `json:"points"`
+	RunsPerPoint int `json:"runs_per_point"`
+}
+
+// ResultResponse answers GET /api/v1/jobs/{id}/result.
+type ResultResponse struct {
+	// ID echoes the job id.
+	ID string `json:"id"`
+	// Points are the folded operating points in sweep order.
+	Points []Point `json:"points"`
+}
+
+// NewHandler exposes an Engine over HTTP as a JSON API, with the
+// observability routes of o (when non-nil) mounted beside it:
+//
+//	POST /api/v1/jobs             submit a deck        (SubmitRequest)
+//	GET  /api/v1/jobs             list job statuses    ([]JobStatus)
+//	GET  /api/v1/jobs/{id}        one job's status     (JobStatus)
+//	GET  /api/v1/jobs/{id}/result completed points     (ResultResponse)
+//	POST /api/v1/jobs/{id}/cancel abort a job
+//	GET  /healthz                 liveness probe
+//	/metrics /trace /heatmap /debug/pprof/   obs routes (o != nil)
+func NewHandler(e *Engine, o *obs.Observer) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			// The client hung up mid-response; nothing to clean up.
+			return
+		}
+	}
+	writeErr := func(w http.ResponseWriter, status int, format string, args ...any) {
+		writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	}
+	jobOr404 := func(w http.ResponseWriter, r *http.Request) *Job {
+		j := e.Job(r.PathValue("id"))
+		if j == nil {
+			writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		}
+		return j
+	}
+
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed request body: %v", err)
+			return
+		}
+		d, err := netlist.Parse(strings.NewReader(req.Deck))
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "deck does not parse: %v", err)
+			return
+		}
+		j, err := e.Submit(d, req.Overrides)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		st := e.Status(j)
+		writeJSON(w, http.StatusAccepted, SubmitResponse{
+			ID: j.ID(), Points: st.Points, RunsPerPoint: st.RunsPer,
+		})
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Jobs())
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if j := jobOr404(w, r); j != nil {
+			writeJSON(w, http.StatusOK, e.Status(j))
+		}
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		j := jobOr404(w, r)
+		if j == nil {
+			return
+		}
+		pts, err := e.Result(j)
+		if err != nil {
+			// 409: the resource exists but is not in a state to serve this.
+			writeErr(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ResultResponse{ID: j.ID(), Points: pts})
+	})
+
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		if j := jobOr404(w, r); j != nil {
+			e.Cancel(j.ID())
+			writeJSON(w, http.StatusOK, e.Status(j))
+		}
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	if o != nil {
+		mux.Handle("/", obs.Handler(o))
+	}
+	return mux
+}

@@ -1,0 +1,303 @@
+// Package jobs is the batch execution layer: it fans a parsed deck out
+// into independent (sweep point, run) tasks, executes them on a bounded
+// worker pool — run-level parallelism composing with the solver's
+// within-run parallelism — and makes every run crash-safe through
+// periodic atomic checkpoint files built on the solver's snapshot API.
+//
+// Determinism is the load-bearing property. Checkpoints are only
+// written when the solver sits on a full-refresh boundary
+// (Stats.Events a multiple of Sim.RefreshPeriod()), where every piece
+// of derived state — adaptive testing factors, cached free-energy
+// changes, node potentials, the Fenwick selection tree — is a pure
+// function of the snapshotted state (time, charges, electron counts,
+// RNG). Restore performs the same full refresh, so a run killed at an
+// arbitrary instant and resumed from its last checkpoint produces a
+// trajectory bit-identical to the uninterrupted run, in every solver
+// mode (adaptive, non-adaptive, superconducting, cotunneling, serial
+// and parallel). DESIGN.md §10 develops the full argument.
+//
+// The package offers three entry points at increasing altitude:
+//
+//   - RunSim: one simulation advanced with periodic checkpoints and
+//     cooperative cancellation (the CLI -resume path);
+//   - ExecuteDeck: a whole deck executed synchronously, optionally
+//     checkpointed and resumed (what semsim.RunDeck builds on);
+//   - Engine + NewHandler: an asynchronous job queue with retry,
+//     timeouts and graceful drain, exposed over HTTP by cmd/semsimd.
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"semsim/internal/netlist"
+	"semsim/internal/obs"
+)
+
+// ErrInterrupted reports that a run was stopped by a drain request (or
+// a canceled RunSim context) after persisting a checkpoint: the work is
+// incomplete but resumable, which callers must distinguish from
+// failure.
+var ErrInterrupted = errors.New("jobs: run interrupted; state checkpointed for resume")
+
+// Overrides adjusts engine knobs the deck's author left unset —
+// command-line or API settings that win over the deck's own directives.
+// None of them change the physics; only CinvEps changes the trajectory
+// (and then carries a provable error bound).
+type Overrides struct {
+	// Parallel overrides the within-run rate-engine worker count when
+	// non-zero (1 = serial; any value is bit-identical).
+	Parallel int `json:"parallel,omitempty"`
+	// RateTables routes normal-state rates through the error-bounded
+	// interpolation tables (< 1e-6 relative error).
+	RateTables bool `json:"rate_tables,omitempty"`
+	// Sparse forces the sparse locality-aware potential engine even when
+	// the deck does not request it (exact, bit-identical at CinvEps 0).
+	Sparse bool `json:"sparse,omitempty"`
+	// CinvEps, when > 0, truncates C^-1 rows at CinvEps*rowmax (implies
+	// Sparse) and overrides the deck's cinv-eps value.
+	CinvEps float64 `json:"cinv_eps,omitempty"`
+}
+
+// Point is one operating point of an executed deck: the swept source
+// value and the measured currents averaged over the deck's runs.
+type Point struct {
+	// SweepV is the swept source value (0 when the deck has no sweep).
+	SweepV float64 `json:"sweep_v"`
+	// Current holds the measured current per recorded junction (keyed by
+	// netlist junction id), averaged over the deck's runs.
+	Current map[int]float64 `json:"current"`
+	// Blockaded marks points where no event was possible.
+	Blockaded bool `json:"blockaded,omitempty"`
+	// Events is the total measured tunnel events across runs.
+	Events uint64 `json:"events"`
+}
+
+// RunConfig tunes deck execution. The zero value reproduces the
+// historical semsim.RunDeck behavior exactly: sequential points, no
+// checkpointing.
+type RunConfig struct {
+	// Dir is the checkpoint directory; empty disables checkpointing.
+	Dir string
+	// Every is the target number of events between checkpoints (rounded
+	// up to the solver's refresh period, where snapshots are
+	// bit-identical resumable). 0 means defaultCheckpointEvery.
+	Every int
+	// Resume loads any matching checkpoint found in Dir and continues
+	// from it instead of starting the run over.
+	Resume bool
+	// Workers bounds how many (point, run) tasks execute concurrently;
+	// 0 or 1 means sequential. Results are folded in deterministic order
+	// regardless, so the output is identical at any worker count.
+	Workers int
+	// Stop, when closed, asks in-flight runs to checkpoint at the next
+	// refresh boundary and return ErrInterrupted (graceful drain).
+	Stop <-chan struct{}
+}
+
+// defaultCheckpointEvery is the checkpoint cadence (in events) when
+// RunConfig.Every is zero — frequent enough that a crash loses seconds
+// of work, rare enough that snapshot I/O is noise.
+const defaultCheckpointEvery = 1 << 15
+
+// deckKey fingerprints everything that determines a run's trajectory:
+// the deck's canonical Format output (circuit, spec, seeds) plus the
+// trajectory-relevant overrides. Checkpoint files embed and verify the
+// key, so a resumed submission only picks up state that provably
+// belongs to the same work; Parallel is excluded because worker count
+// never changes the trajectory.
+func deckKey(d *netlist.Deck, ov Overrides) (string, error) {
+	var buf bytes.Buffer
+	if err := d.Format(&buf); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&buf, "|rt=%v|sparse=%v|eps=%016x",
+		ov.RateTables, ov.Sparse, math.Float64bits(ov.CinvEps))
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(buf.Bytes())), nil
+}
+
+// checkpointPath names the checkpoint file of one (point, run) task.
+func checkpointPath(dir, key string, point, run int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-p%04d-r%03d.ckpt", key, point, run))
+}
+
+// sweepValues expands the deck's sweep directive into the ordered
+// operating-point values ([0] when the deck has no sweep). The
+// iteration matches the original RunDeck loop exactly — accumulation
+// order is part of the bit-identity contract.
+func sweepValues(spec *netlist.Spec) []float64 {
+	if sw := spec.Sweep; sw != nil {
+		var vals []float64
+		for v := -sw.Max; v <= sw.Max+sw.Step/2; v += sw.Step {
+			vals = append(vals, v)
+		}
+		return vals
+	}
+	return []float64{0}
+}
+
+// validateDeck rejects decks that cannot be executed: nothing recorded
+// or no stopping criterion.
+func validateDeck(d *netlist.Deck) error {
+	if len(d.Spec.RecordJuncs) == 0 {
+		return fmt.Errorf("semsim: deck records no junctions (add a 'record' line)")
+	}
+	if d.Spec.Jumps == 0 && d.Spec.MaxTime == 0 {
+		return fmt.Errorf("semsim: deck sets neither 'jumps' nor 'time'")
+	}
+	return nil
+}
+
+// foldResults reduces per-(point, run) results into the final points in
+// the same float operation order as the historical sequential loop:
+// for each recorded junction, run contributions are added in run order
+// and divided by the run count. This keeps ExecuteDeck's output
+// bit-identical at any Workers setting.
+func foldResults(spec *netlist.Spec, vals []float64, results [][]runResult) []Point {
+	runs := spec.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	out := make([]Point, len(vals))
+	for i, v := range vals {
+		pt := Point{SweepV: v, Current: map[int]float64{}}
+		for run := 0; run < runs; run++ {
+			r := results[i][run]
+			if r.Blockaded {
+				pt.Blockaded = true
+				continue
+			}
+			pt.Events += r.Events
+			for _, j := range spec.RecordJuncs {
+				pt.Current[j] += r.Current[j] / float64(runs)
+			}
+		}
+		out[i] = pt
+	}
+	return out
+}
+
+// ExecuteDeck runs every (sweep point, run) task of a deck and returns
+// the folded operating points. With cfg.Dir set, each task checkpoints
+// periodically and — with cfg.Resume — continues from any valid
+// checkpoint it finds, making long sweeps crash-safe; completed tasks
+// delete their files. Cancel ctx to abandon the execution immediately,
+// or close cfg.Stop to drain: in-flight tasks persist a final
+// checkpoint and ExecuteDeck returns ErrInterrupted.
+func ExecuteDeck(ctx context.Context, d *netlist.Deck, ov Overrides, cfg RunConfig) ([]Point, error) {
+	if err := validateDeck(d); err != nil {
+		return nil, err
+	}
+	spec := d.Spec
+	vals := sweepValues(&spec)
+	key, err := deckKey(d, ov)
+	if err != nil {
+		return nil, err
+	}
+	runs := spec.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	results := make([][]runResult, len(vals))
+	for i := range results {
+		results[i] = make([]runResult, runs)
+	}
+
+	type task struct{ point, run int }
+	tasks := make([]task, 0, len(vals)*runs)
+	for i := range vals {
+		for r := 0; r < runs; r++ {
+			tasks = append(tasks, task{i, r})
+		}
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	run := func(t task) error {
+		res, err := runDeckPoint(ctx, d, ov, key, t.point, vals[t.point], t.run, cfg)
+		if err != nil {
+			if errors.Is(err, ErrInterrupted) || errors.Is(err, context.Canceled) {
+				return err
+			}
+			return fmt.Errorf("point %d (v=%g) run %d: %w", t.point, vals[t.point], t.run, err)
+		}
+		results[t.point][t.run] = res
+		return nil
+	}
+
+	if workers == 1 {
+		for _, t := range tasks {
+			if err := run(t); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Cancel the siblings once any task fails; the deterministic fold
+		// below makes completion order irrelevant to the result.
+		tctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		work := make(chan task)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for t := range work {
+					if tctx.Err() != nil {
+						continue
+					}
+					if err := run(t); err != nil && errs[w] == nil {
+						errs[w] = err
+						cancel()
+					}
+				}
+			}(w)
+		}
+		for _, t := range tasks {
+			work <- t
+		}
+		close(work)
+		wg.Wait()
+		// Prefer a real failure over the cancellations it caused.
+		var firstErr error
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			if firstErr == nil || errors.Is(firstErr, context.Canceled) {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	if o := obs.Global(); o != nil {
+		o.Registry().Counter("jobs.decks_executed").Add(1)
+	}
+	if cfg.Dir != "" {
+		// The whole deck folded: the per-task done markers (kept so a
+		// resume after a partial interruption skips finished tasks) have
+		// served their purpose. Best-effort removal.
+		for i := range vals {
+			for r := 0; r < runs; r++ {
+				os.Remove(checkpointPath(cfg.Dir, key, i, r))
+			}
+		}
+	}
+	return foldResults(&spec, vals, results), nil
+}

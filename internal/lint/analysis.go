@@ -78,6 +78,7 @@ func All() []*Analyzer {
 		Sharddiscipline,
 		Physerr,
 		Obsdiscipline,
+		Doccomment,
 	}
 }
 

@@ -1,0 +1,15 @@
+package lint
+
+import "testing"
+
+func TestDoccomment(t *testing.T) {
+	RunFixture(t, Doccomment, "doccomment/semsim")
+}
+
+func TestDoccommentOnlyFiresInFacadePackages(t *testing.T) {
+	RunFixture(t, Doccomment, "doccomment/a")
+}
+
+func TestDoccommentRequiresPackageDoc(t *testing.T) {
+	RunFixture(t, Doccomment, "doccomment/nopkgdoc/semsim")
+}

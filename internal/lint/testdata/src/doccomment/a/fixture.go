@@ -1,0 +1,7 @@
+package a
+
+// The doccomment policy applies to the facade and internal/jobs only;
+// an undocumented export elsewhere is not this pass's business.
+type Undocumented struct{}
+
+func AlsoUndocumented() {}

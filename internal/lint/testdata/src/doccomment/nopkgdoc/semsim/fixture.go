@@ -1,0 +1,4 @@
+package semsim // want "package semsim has no package doc comment"
+
+// Fine is documented; only the package comment is missing.
+type Fine struct{}

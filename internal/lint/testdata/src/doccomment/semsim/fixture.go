@@ -1,0 +1,43 @@
+// Package semsim is a doccomment fixture standing in for the facade.
+package semsim
+
+// Documented is fine: it has a doc comment starting with its name.
+type Documented struct{}
+
+// Run runs. Methods of exported types need docs too.
+func (Documented) Run() {}
+
+func (Documented) Stop() {} // want "exported method Stop has no doc comment"
+
+type Bare struct{} // want "exported type Bare has no doc comment"
+
+// Something about nothing in particular.
+type Mismatched struct{} // want "doc comment for Mismatched should start with \"Mismatched\""
+
+// A Described type may open with an article.
+type Described struct{}
+
+// unexported needs no doc comment.
+type unexported struct{}
+
+func (unexported) Exported() {} // method of an unexported type: no finding
+
+// Do does a thing.
+func Do() {}
+
+func Undocumented() {} // want "exported function Undocumented has no doc comment"
+
+// Constants of the fixture, documented as a group.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const LoneConst = 3 // want "exported const LoneConst has no doc comment"
+
+var LoneVar = 4 // want "exported var LoneVar has no doc comment"
+
+// DocumentedVar carries its own comment.
+var DocumentedVar = 5
+
+var internalOnly = 6

@@ -31,6 +31,8 @@
 //	refresh 1024                 full recalculation period
 //	sparse                       sparse locality-aware potential engine
 //	cinv-eps 1e-9                truncate C^-1 rows at eps*rowmax (implies sparse)
+//	parallel 4                   within-run rate-engine workers (0 = auto)
+//	rate-tables                  tabulated normal-state tunnel kernels
 //
 // Node 0 is always ground (an external at 0 V). Nodes with a source are
 // external; every other referenced node is an island. Lines starting
@@ -77,8 +79,16 @@ type Spec struct {
 	// Sparse selects the sparse locality-aware potential engine;
 	// CinvEps is the relative C^-1 row-truncation threshold (0 = exact,
 	// bit-identical to dense; > 0 implies Sparse).
-	Sparse      bool
-	CinvEps     float64
+	Sparse  bool
+	CinvEps float64
+	// Parallel is the within-run rate-engine worker count (0 = solver
+	// default, 1 = serial; bit-identical either way) and RateTables
+	// routes normal-state rates through the error-bounded interpolation
+	// tables. Engine knobs rather than physics, but deck-expressible so
+	// a submitted deck is self-contained (e.g. for the semsimd batch
+	// daemon); command-line overrides still win.
+	Parallel    int
+	RateTables  bool
 	Sweep       *SweepSpec
 	RecordJuncs []int // netlist junction ids
 	ProbeNodes  []int // netlist node numbers
@@ -412,6 +422,20 @@ func (d *Deck) directive(f []string, ln int) error {
 			return err
 		}
 		d.Spec.Sparse = true
+	case "parallel":
+		if err := need(1); err != nil {
+			return err
+		}
+		n, err := inum(f[1])
+		if err != nil || n < 0 {
+			return bad("parallel: malformed worker count (want >= 0)")
+		}
+		d.Spec.Parallel = n
+	case "rate-tables":
+		if err := need(0); err != nil {
+			return err
+		}
+		d.Spec.RateTables = true
 	case "cinv-eps":
 		if err := need(1); err != nil {
 			return err

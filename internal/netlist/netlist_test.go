@@ -205,6 +205,9 @@ func TestParseErrors(t *testing.T) {
 		"pwl non-monotone":   "junc 1 0 1 1e-6 1e-18\nvpwl 2 1e-9 0 0.5e-9 1\ncap 2 1 1e-18\n",
 		"bad temp":           "junc 1 0 1 1e-6 1e-18\ntemp -3\n",
 		"bad super":          "junc 1 0 1 1e-6 1e-18\nsuper -1 1\n",
+		"neg parallel":       "junc 1 0 1 1e-6 1e-18\nparallel -2\n",
+		"parallel argc":      "junc 1 0 1 1e-6 1e-18\nparallel\n",
+		"rate-tables argc":   "junc 1 0 1 1e-6 1e-18\nrate-tables 3\n",
 	}
 	for name, deck := range cases {
 		if _, err := Parse(strings.NewReader(deck)); err == nil {

@@ -21,18 +21,13 @@ type Server struct {
 	srv *http.Server
 }
 
-// Serve starts an HTTP observability endpoint for o on addr and
-// returns once the listener is bound. Routes:
-//
-//	/metrics        registry snapshot (JSON)
-//	/trace          journal in Chrome trace_event format (load in
-//	                chrome://tracing or https://ui.perfetto.dev)
-//	/heatmap        per-junction recompute counts (JSON)
-//	/debug/pprof/   live CPU/heap/block profiles
-func Serve(addr string, o *Observer) (*Server, error) {
-	if o == nil {
-		return nil, fmt.Errorf("obs: Serve needs a non-nil Observer")
-	}
+// Handler returns the observability routes for o as a plain
+// http.Handler, so other servers (e.g. the semsimd job daemon) can
+// mount /metrics, /trace, /heatmap and /debug/pprof/ next to their own
+// API instead of running a second listener. Serve wraps it with a
+// listener. Registering also installs a runtime.goroutines gauge on o's
+// registry (idempotent).
+func Handler(o *Observer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -79,6 +74,22 @@ func Serve(addr string, o *Observer) (*Server, error) {
 	o.Registry().GaugeFunc("runtime.goroutines", func() float64 {
 		return float64(runtime.NumGoroutine())
 	})
+	return mux
+}
+
+// Serve starts an HTTP observability endpoint for o on addr and
+// returns once the listener is bound. Routes:
+//
+//	/metrics        registry snapshot (JSON)
+//	/trace          journal in Chrome trace_event format (load in
+//	                chrome://tracing or https://ui.perfetto.dev)
+//	/heatmap        per-junction recompute counts (JSON)
+//	/debug/pprof/   live CPU/heap/block profiles
+func Serve(addr string, o *Observer) (*Server, error) {
+	if o == nil {
+		return nil, fmt.Errorf("obs: Serve needs a non-nil Observer")
+	}
+	mux := Handler(o)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -69,6 +69,139 @@ func TestCheckpointResumeBitExact(t *testing.T) {
 	}
 }
 
+// A checkpoint must refuse to restore under mismatched
+// trajectory-relevant options: before the options hash existed, a
+// resume with, say, a different C^-1 truncation or temperature silently
+// produced a diverging trajectory.
+func TestRestoreRejectsMismatchedOptions(t *testing.T) {
+	mk := func(opt Options) *Sim {
+		c, _ := circuit.NewSET(circuit.SETConfig{
+			R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+			Vs: 0.02, Vd: -0.02, Vg: 0.005,
+		})
+		s, err := New(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := Options{Temp: 5, Seed: 9}
+	src := mk(base)
+	if _, err := src.Run(300, 0); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]Options{
+		"temperature":  {Temp: 6, Seed: 9},
+		"adaptive":     {Temp: 5, Seed: 9, Adaptive: true},
+		"alpha":        {Temp: 5, Seed: 9, Adaptive: true, Alpha: 0.2},
+		"sparse":       {Temp: 5, Seed: 9, SparsePotentials: true},
+		"cinv-eps":     {Temp: 5, Seed: 9, SparsePotentials: true, CinvTruncation: 1e-6},
+		"rate-tables":  {Temp: 5, Seed: 9, RateTables: true},
+		"refreshevery": {Temp: 5, Seed: 9, RefreshEvery: 77},
+	}
+	for name, opt := range cases {
+		dst := mk(opt)
+		if err := dst.Restore(cp); err == nil {
+			t.Errorf("%s mismatch silently accepted", name)
+		}
+		dst.Close()
+	}
+
+	// Options that provably do not change the trajectory must stay
+	// resumable: a different seed (the RNG state is in the snapshot) and
+	// a different worker count (parallel is bit-identical to serial).
+	for name, opt := range map[string]Options{
+		"seed":     {Temp: 5, Seed: 12345},
+		"parallel": {Temp: 5, Seed: 9, Parallel: 4},
+	} {
+		dst := mk(opt)
+		if err := dst.Restore(cp); err != nil {
+			t.Errorf("trajectory-equivalent option %s rejected: %v", name, err)
+		}
+		dst.Close()
+	}
+}
+
+// Unversioned (or future-versioned) checkpoints must be rejected with a
+// clear error rather than interpreted as valid state.
+func TestRestoreRejectsWrongVersion(t *testing.T) {
+	c, _ := circuit.NewSET(circuit.SETConfig{
+		R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF, Vs: 0.02, Vd: -0.02,
+	})
+	s, err := New(c, Options{Temp: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Version != CheckpointVersion {
+		t.Fatalf("Checkpoint wrote version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	cp.Version = 0 // legacy pre-header JSON decodes to the zero value
+	if err := s.Restore(cp); err == nil {
+		t.Fatal("unversioned checkpoint accepted")
+	}
+	cp.Version = CheckpointVersion + 1
+	if err := s.Restore(cp); err == nil {
+		t.Fatal("future checkpoint version accepted")
+	}
+}
+
+// Waveforms are part of the snapshot: a resumed run's probe record must
+// be bit-identical to the uninterrupted run's, including decimation
+// decisions.
+func TestRestoreCarriesWaveforms(t *testing.T) {
+	mk := func() *Sim {
+		c, _ := circuit.NewSET(circuit.SETConfig{
+			R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+			Vs: 0.02, Vd: -0.02, Vg: 0.005,
+		})
+		s, err := New(c, Options{Temp: 5, Seed: 21, ProbeInterval: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddProbe(c.Islands()[0])
+		return s
+	}
+	ref := mk()
+	if _, err := ref.Run(3000, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	a := mk()
+	if _, err := a.Run(1024, 0); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mk()
+	if err := b.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(3000-1024, 0); err != nil {
+		t.Fatal(err)
+	}
+	island := ref.ProbeNodes()[0]
+	wr, wb := ref.Waveform(island), b.Waveform(island)
+	if len(wr) != len(wb) {
+		t.Fatalf("resumed waveform has %d samples, uninterrupted %d", len(wb), len(wr))
+	}
+	for i := range wr {
+		if wr[i] != wb[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, wr[i], wb[i])
+		}
+	}
+}
+
 func TestRestoreValidation(t *testing.T) {
 	c, _ := circuit.NewSET(circuit.SETConfig{
 		R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF, Vs: 0.02, Vd: -0.02,

@@ -6,6 +6,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -62,6 +63,15 @@ type Config struct {
 // order. Each point gets seed Options.Seed + index so results are
 // reproducible regardless of scheduling.
 func IV(build BuildFunc, xs []float64, cfg Config) ([]Point, error) {
+	return IVCtx(context.Background(), build, xs, cfg)
+}
+
+// IVCtx is IV with cooperative cancellation: once ctx is canceled, no
+// new point starts and IVCtx returns ctx's error (points already in
+// flight run to completion — a point is the smallest unit of work).
+// Batch drivers (the jobs engine, semsimd) use this to stop abandoned
+// sweeps promptly.
+func IVCtx(ctx context.Context, build BuildFunc, xs []float64, cfg Config) ([]Point, error) {
 	defer obs.GlobalSpan("sweep.iv").End()
 	pts := make([]Point, len(xs))
 	errs := make([]error, len(xs))
@@ -76,6 +86,10 @@ func IV(build BuildFunc, xs []float64, cfg Config) ([]Point, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
 				pts[i], errs[i] = runPoint(build, xs[i], i, cfg)
 			}
 		}()
@@ -85,6 +99,9 @@ func IV(build BuildFunc, xs []float64, cfg Config) ([]Point, error) {
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, &PointError{Index: i, X: xs[i], Err: err}
@@ -160,6 +177,12 @@ type Build2DFunc func(x, y float64) (*circuit.Circuit, int, error)
 // Map2D computes the current on a ys-by-xs grid (row-major: result[iy][ix]),
 // the shape of the paper's Fig. 5 contour data.
 func Map2D(build Build2DFunc, xs, ys []float64, cfg Config) ([][]float64, error) {
+	return Map2DCtx(context.Background(), build, xs, ys, cfg)
+}
+
+// Map2DCtx is Map2D with cooperative cancellation, mirroring IVCtx:
+// canceled grids stop scheduling new points and return ctx's error.
+func Map2DCtx(ctx context.Context, build Build2DFunc, xs, ys []float64, cfg Config) ([][]float64, error) {
 	defer obs.GlobalSpan("sweep.map2d").End()
 	grid := make([][]float64, len(ys))
 	for iy := range grid {
@@ -179,6 +202,10 @@ func Map2D(build Build2DFunc, xs, ys []float64, cfg Config) ([][]float64, error)
 			defer wg.Done()
 			for j := range jobs {
 				idx := j.iy*len(xs) + j.ix
+				if ctx.Err() != nil {
+					errs[idx] = ctx.Err()
+					continue
+				}
 				pt, err := runPoint(func(v float64) (*circuit.Circuit, int, error) {
 					return build(xs[j.ix], ys[j.iy])
 				}, xs[j.ix], idx, cfg)
@@ -197,6 +224,9 @@ func Map2D(build Build2DFunc, xs, ys []float64, cfg Config) ([][]float64, error)
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for idx, err := range errs {
 		if err != nil {
 			ix, iy := idx%len(xs), idx/len(xs)
