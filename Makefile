@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test unit race bench zero-alloc rate-engine potential-engine obs-overhead experiments quick-experiments fmt vet lint debug fuzz docs-verify
+.PHONY: all build test unit race bench zero-alloc rate-engine bench-compare potential-engine obs-overhead experiments quick-experiments fmt vet lint debug fuzz docs-verify
 
 all: build test
 
@@ -37,10 +37,12 @@ docs-verify: bin/semsimlint
 
 # Disabled observability must stay literally free (nil-receiver hooks
 # at 0 allocs/op), and so must the per-event potential update of both
-# engines (dense row pass and sparse nonzero walk).
+# engines (dense row pass and sparse nonzero walk) and the solver's
+# whole steady-state event loop (flush, sample, apply, recompute).
 zero-alloc:
 	go test -run TestObsDisabledZeroAlloc -bench=ObsDisabled -benchmem ./internal/obs/
 	go test -run TestPotentialShiftZeroAlloc ./internal/circuit/
+	go test -run TestStepHotPathZeroAlloc ./internal/solver/
 
 # One testing.B benchmark per paper figure, plus ablations and
 # per-package microbenchmarks.
@@ -48,9 +50,16 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Machine-readable rate-engine benchmark (serial vs parallel, exact vs
-# tabulated kernels) -> results/BENCH_rate_engine.json.
+# tabulated kernels, c432 dense + c1908 sparse)
+# -> results/BENCH_rate_engine.json.
 rate-engine:
 	go run ./cmd/experiments rate-engine
+
+# Gate the committed rate-engine snapshot: tabulated kernels must not be
+# slower than exact evaluation in any configuration. Diff two snapshots
+# with `go run ./cmd/benchcmp OLD.json NEW.json`.
+bench-compare:
+	go run ./cmd/benchcmp results/BENCH_rate_engine.json
 
 # Machine-readable potential-engine benchmark (dense inverse vs exact
 # sparse rows vs eps-truncated rows on the four largest circuits)

@@ -1,0 +1,55 @@
+// Command benchcmp diffs rate-engine benchmark snapshots and gates the
+// kernel-table invariant.
+//
+// Usage:
+//
+//	benchcmp NEW.json           check one snapshot: tables >= exact
+//	benchcmp OLD.json NEW.json  per-configuration speedup table, then
+//	                            the same check on NEW.json
+//
+// With two files it prints old vs new events/s and the speedup for
+// every (benchmark, mode, workers, kernel) configuration, matching rows
+// across the single-report and report-array file formats. In both forms
+// the exit status is the regression gate used by `make bench-compare`:
+// nonzero if any configuration in the newest snapshot runs slower with
+// tabulated kernels than with exact evaluation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"semsim/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: benchcmp [OLD.json] NEW.json")
+	}
+	newest, err := bench.LoadRateEngineReports(args[len(args)-1])
+	if err != nil {
+		return err
+	}
+	if len(args) == 2 {
+		old, err := bench.LoadRateEngineReports(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.CompareRateEngine(old, newest))
+	}
+	if bad := bench.CheckTablesAtLeastExact(newest); len(bad) > 0 {
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", m)
+		}
+		return fmt.Errorf("tabulated kernels slower than exact in %d configuration(s)", len(bad))
+	}
+	fmt.Println("tables >= exact in every configuration")
+	return nil
+}

@@ -10,32 +10,48 @@ import (
 	"semsim/internal/logicnet"
 )
 
-// rateEngine benchmarks the within-run parallel rate engine on a large
-// circuit and writes the machine-readable results to
-// BENCH_rate_engine.json: events/sec, rate calculations and wall time
-// for serial vs parallel execution with exact vs tabulated kernels.
+// rateEngine benchmarks the within-run parallel rate engine and writes
+// the machine-readable results to BENCH_rate_engine.json: events/sec,
+// rate calculations and wall time for serial vs parallel execution with
+// exact vs tabulated kernels. Two circuits are timed — c432 (2072
+// junctions, dense potentials) and c1908 (6988 junctions, sparse
+// potentials) — so the report covers both potential engines' hot paths;
+// the file holds an array with one report per circuit.
 func rateEngine() error {
-	name, events := "c432", uint64(20000)
+	type row struct {
+		name   string
+		events uint64
+		sparse bool
+	}
+	rows := []row{
+		{"c432", 20000, false},
+		{"c1908", 10000, true},
+	}
 	if *quick {
-		name, events = "74LS153", uint64(2000)
+		rows = []row{{"74LS153", 2000, false}}
 	}
-	b, ok := bench.ByName(name)
-	if !ok {
-		return fmt.Errorf("benchmark %s missing from suite", name)
-	}
-	rep, err := bench.RunRateEngine(b, logicnet.DefaultParams(), events, 11)
-	if err != nil {
-		return err
-	}
-	for _, r := range rep.Runs {
-		tables := "exact"
-		if r.RateTables {
-			tables = "tables"
+	var reps []*bench.RateEngineReport
+	for _, w := range rows {
+		b, ok := bench.ByName(w.name)
+		if !ok {
+			return fmt.Errorf("benchmark %s missing from suite", w.name)
 		}
-		fmt.Printf("%-8s x%-2d %-6s  %8.0f events/s  %12d rate calcs  %8.3fs wall\n",
-			r.Mode, r.Workers, tables, r.EventsPerSec, r.RateCalcs, r.WallSeconds)
+		rep, err := bench.RunRateEngineWith(b, logicnet.DefaultParams(), w.events, 11, w.sparse)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (%d junctions):\n", rep.Benchmark, rep.Junctions)
+		for _, r := range rep.Runs {
+			tables := "exact"
+			if r.RateTables {
+				tables = "tables"
+			}
+			fmt.Printf("  %-8s x%-2d %-6s  %8.0f events/s  %12d rate calcs  %8.3fs wall\n",
+				r.Mode, r.Workers, tables, r.EventsPerSec, r.RateCalcs, r.WallSeconds)
+		}
+		reps = append(reps, rep)
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	data, err := json.MarshalIndent(reps, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -44,5 +60,19 @@ func rateEngine() error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+
+	// The tabulated kernels exist to be faster than exact evaluation;
+	// regressing that inverts the benchmark's reason to exist, so the
+	// generator fails loudly on a report it had to write regressed.
+	var all []bench.RateEngineReport
+	for _, r := range reps {
+		all = append(all, *r)
+	}
+	if bad := bench.CheckTablesAtLeastExact(all); len(bad) > 0 {
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", m)
+		}
+		return fmt.Errorf("rate-engine: tabulated kernels slower than exact in %d configuration(s)", len(bad))
+	}
 	return nil
 }

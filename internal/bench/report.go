@@ -3,6 +3,7 @@ package bench
 import (
 	"runtime"
 
+	"semsim/internal/circuit"
 	"semsim/internal/logicnet"
 	"semsim/internal/solver"
 )
@@ -36,7 +37,15 @@ type RateEngineReport struct {
 // for the given event budget, across the four corners of the engine:
 // {serial, parallel} x {exact, tabulated} rates.
 func RunRateEngine(b Benchmark, p logicnet.Params, events, seed uint64) (*RateEngineReport, error) {
-	ex, err := BuildWorkload(b, p)
+	return RunRateEngineWith(b, p, events, seed, false)
+}
+
+// RunRateEngineWith is RunRateEngine with a sparse-potentials switch:
+// the largest circuits (c1908, 6988 junctions) are built and simulated
+// through the sparse engine, skipping the dense C^-1 entirely — the
+// configuration those circuits run under in practice.
+func RunRateEngineWith(b Benchmark, p logicnet.Params, events, seed uint64, sparse bool) (*RateEngineReport, error) {
+	ex, err := BuildWorkloadWith(b, p, circuit.BuildOptions{SparsePotentials: sparse})
 	if err != nil {
 		return nil, err
 	}
@@ -59,10 +68,11 @@ func RunRateEngine(b Benchmark, p logicnet.Params, events, seed uint64) (*RateEn
 	}
 	for _, c := range configs {
 		opt := solver.Options{
-			Temp:       WorkloadTemp,
-			Seed:       seed,
-			Parallel:   c.workers,
-			RateTables: c.tables,
+			Temp:             WorkloadTemp,
+			Seed:             seed,
+			Parallel:         c.workers,
+			RateTables:       c.tables,
+			SparsePotentials: sparse,
 		}
 		res, err := TimeSolverOn(ex, opt, events, 0)
 		if err != nil {

@@ -17,9 +17,16 @@ import (
 //
 // (the thermal bracket dW^2 + (2 pi kT)^2 equals kT^2 (x^2 + 4 pi^2)),
 // so one table serves every channel, resistance pair and temperature.
-// Outside |x| <= KernelXMax and at T <= 0 evaluation is exact.
+// Outside |x| <= KernelXMax the asymptotic tails are evaluated (see
+// KernelXMax); at T <= 0 evaluation is exact.
 const (
-	// KernelXMax bounds the tabulated band of x = dW/kT.
+	// KernelXMax bounds the tabulated band of x = dW/kT. As in the
+	// orthodox kernel, the tails evaluate their asymptotic expansions so
+	// out-of-band arguments stay on the multiply-add path: below -60,
+	// x/(exp(x)-1) -> -x so h(x) -> -x^3 - 4 pi^2 x, exact to one part
+	// in e^60 ~ 1e26; above +60 the thermally suppressed kernel
+	// h(60) ~ 2e-21 truncates to zero (dozens of decades below the
+	// double-precision floor of any competing rate sum).
 	KernelXMax = 60.0
 	// KernelRelTol is the grid-refinement target for the kernel's
 	// relative interpolation error.
@@ -31,9 +38,12 @@ func bracketKernel(x float64) float64 {
 	return (x*x + 4*math.Pi*math.Pi) * numeric.XOverExpm1(x)
 }
 
-// Kernel is the tabulated cotunneling rate kernel.
+// Kernel is the tabulated cotunneling rate kernel. It evaluates through
+// a numeric.FlatKernel — uniform grid, constant-time panel lookup — so
+// a tabulated rate costs a handful of multiply-adds instead of a binary
+// search plus an exp.
 type Kernel struct {
-	k *numeric.Kernel
+	k *numeric.FlatKernel
 }
 
 var (
@@ -46,19 +56,26 @@ var (
 // — callers must then use the exact Rate.
 func SharedKernel() *Kernel {
 	kernelOnce.Do(func() {
-		k, err := numeric.NewKernel(bracketKernel, -KernelXMax, KernelXMax, KernelRelTol)
+		k, err := numeric.NewFlatKernel(bracketKernel, -KernelXMax, KernelXMax, KernelRelTol)
 		if err != nil || k.MaxRelError() > KernelRelTol {
 			return
 		}
+		// Asymptotic tails (see KernelXMax): h(x) = -x^3 - 4 pi^2 x
+		// below the band, 0 above it.
+		k.WithTails([4]float64{0, -4 * math.Pi * math.Pi, 0, -1}, [4]float64{})
 		kernel = &Kernel{k: k}
 	})
 	return kernel
 }
 
+// Flat exposes the underlying constant-time kernel so the solver's
+// monomorphic inner loops can evaluate it without an extra call frame.
+func (k *Kernel) Flat() *numeric.FlatKernel { return k.k }
+
 // Rate is the tabulated counterpart of Rate: identical arguments and
 // semantics, relative error bounded by KernelRelTol inside the
-// tabulated band and exact outside it (including T <= 0 and inactive
-// channels).
+// tabulated band, asymptotic outside it (see KernelXMax), and exact at
+// T <= 0 and for inactive channels.
 func (k *Kernel) Rate(dw, e1, e2, r1, r2, t float64) float64 {
 	if e1 <= 0 || e2 <= 0 {
 		return 0 // coexistence rule, as in Rate

@@ -10,7 +10,9 @@ import (
 
 // TestKernelAccuracy mirrors the orthodox table test for the
 // cotunneling bracket: tabulated rates within 1e-6 of exact across
-// temperatures, spanning the tabulated band and its exact tails.
+// temperatures, spanning the tabulated band and its asymptotic tails
+// (ohmic below, truncated-to-zero above — there the test bounds the
+// discarded exact rate by the truncation floor instead).
 func TestKernelAccuracy(t *testing.T) {
 	k := SharedKernel()
 	if k == nil {
@@ -32,6 +34,18 @@ func TestKernelAccuracy(t *testing.T) {
 			e2 := ec * (0.5 + r.Float64())
 			exact := Rate(dw, e1, e2, r1, r2, temp)
 			got := k.Rate(dw, e1, e2, r1, r2, temp)
+			if x > KernelXMax {
+				pref := units.Hbar / (12 * math.Pi * units.E * units.E * units.E * units.E * r1 * r2)
+				den := 1/e1 + 1/e2
+				scale := pref * den * den * kT * kT * kT
+				if got != 0 {
+					t.Fatalf("T=%g x=%g: truncated tail must give 0, got %g", temp, x, got)
+				}
+				if floor := scale * (x*x + 4*math.Pi*math.Pi) * (x + 1) * math.Exp(-KernelXMax); exact > floor {
+					t.Fatalf("T=%g x=%g: exact rate %g above truncation floor %g", temp, x, exact, floor)
+				}
+				continue
+			}
 			if exact == 0 {
 				if got != 0 {
 					t.Fatalf("T=%g x=%g: exact 0 but table %g", temp, x, got)

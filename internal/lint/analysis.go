@@ -76,6 +76,7 @@ func All() []*Analyzer {
 		Unitsafety,
 		Floateq,
 		Sharddiscipline,
+		Hotalloc,
 		Physerr,
 		Obsdiscipline,
 		Doccomment,

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestHotalloc(t *testing.T) {
+	RunFixture(t, Hotalloc, "hotalloc/internal/solver")
+}
+
+func TestHotallocOnlyFiresOnEventPath(t *testing.T) {
+	RunFixture(t, Hotalloc, "hotalloc/a")
+}

@@ -1,0 +1,11 @@
+// Package a verifies hotalloc is path-scoped: outside internal/solver
+// and internal/rng, even a marked hot function draws no findings.
+package a
+
+// hot allocates freely: this package is not on the event path.
+//
+//semsim:hot
+func hot() []int {
+	out := make([]int, 4)
+	return append(out, 1)
+}

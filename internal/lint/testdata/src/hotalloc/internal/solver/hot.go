@@ -1,0 +1,65 @@
+// Package solver is a hotalloc fixture shaped like the real solver: hot
+// and cold functions, waived and unwaived costs.
+package solver
+
+type rampStepper interface {
+	RampStep(t float64) float64
+}
+
+type table struct{ vals []float64 }
+
+func (t *table) eval(x float64) float64 { return t.vals[0] * x }
+
+type sim struct {
+	ramp  rampStepper
+	tab   *table
+	rates []float64
+	pend  []float64
+}
+
+// coldPath is unmarked: anything goes.
+func coldPath(s *sim) []float64 {
+	out := make([]float64, 4)
+	out = append(out, s.ramp.RampStep(0))
+	return out
+}
+
+// hotStep exercises every finding class.
+//
+//semsim:hot
+func hotStep(s *sim) float64 {
+	total := 0.0
+	total += s.ramp.RampStep(total) // want "interface method call s.ramp.RampStep dispatches dynamically"
+	buf := make([]float64, 8)       // want "make allocates"
+	p := new(table)                 // want "new allocates"
+	_ = p
+	s.pend = append(s.pend, total)       // want "append may grow its backing array"
+	weights := []float64{1, 2}           // want "slice literal allocates"
+	lut := map[int]float64{1: 2}         // want "map literal allocates"
+	t2 := &table{}                       // want "&composite literal escapes to the heap"
+	f := func() float64 { return total } // want "function literal allocates its closure"
+	defer coldPath(s)                    // want "defer on the hot path"
+	go coldPath(s)                       // want "go statement spawns a goroutine"
+	total += buf[0] + weights[0] + lut[1] + t2.eval(1) + f()
+	total += s.tab.eval(total) // concrete method call: fine
+	return total
+}
+
+// hotDeferLit checks that a deferred literal yields one finding, at the
+// defer, not a second one for the literal itself.
+//
+//semsim:hot
+func hotDeferLit(s *sim) {
+	defer func() { s.rates[0] = 0 }() // want "defer on the hot path"
+}
+
+// hotWaived shows the waiver forms: a documented waiver suppresses the
+// finding, a bare one is itself a finding.
+//
+//semsim:hot
+func hotWaived(s *sim) float64 {
+	v := s.ramp.RampStep(0)    //hotalloc:ok once per step, not per rate
+	s.pend = append(s.pend, v) //hotalloc:ok capacity preallocated
+	v += s.tab.eval(v)         /*hotalloc:ok*/ // want "waiver without a reason"
+	return v
+}

@@ -16,12 +16,18 @@ import (
 // unlike the superconducting quasi-particle table, which depends on
 // (R, gaps, T) and is cached per junction. The kernel is built once per
 // process with a measured relative-error bound; outside the tabulated
-// band |x| <= KernelXMax it falls back to exact evaluation, and the
-// T <= 0 limit is always computed exactly.
+// band |x| <= KernelXMax it evaluates the asymptotic tails — see
+// KernelXMax — and the T <= 0 limit is always computed exactly.
 const (
-	// KernelXMax bounds the tabulated band of x = dW/kT. Beyond +60 the
-	// rate has decayed by e^-60 (deep forbidden regime); beyond -60 it
-	// is ohmic to one part in 1e-26. Both tails evaluate exactly.
+	// KernelXMax bounds the tabulated band of x = dW/kT. The tails are
+	// evaluated by their asymptotic expansions, which cost the same
+	// multiply-adds as the band instead of an exp (at logic-circuit
+	// energies |dW/kT| reaches hundreds, so the tails ARE the hot path):
+	// below -60 the kernel is ohmic, g(x) = -x, exact to one part in
+	// e^60 ~ 1e26; above +60 the rate has decayed by e^-60 below the
+	// thermal scale kT/(e^2 R) — deep forbidden regime, over a dozen
+	// decades below double precision of any competing rate sum — and
+	// truncates to zero.
 	KernelXMax = 60.0
 	// KernelRelTol is the grid-refinement target for the kernel's
 	// relative interpolation error, an order of magnitude tighter than
@@ -29,9 +35,12 @@ const (
 	KernelRelTol = 1e-7
 )
 
-// Kernel is the tabulated normal-state rate kernel.
+// Kernel is the tabulated normal-state rate kernel. It evaluates
+// through a numeric.FlatKernel — uniform grid, constant-time panel
+// lookup — so a tabulated rate costs a handful of multiply-adds instead
+// of a binary search plus an exp.
 type Kernel struct {
-	k *numeric.Kernel
+	k *numeric.FlatKernel
 }
 
 var (
@@ -45,18 +54,25 @@ var (
 // exact Rate.
 func SharedKernel() *Kernel {
 	kernelOnce.Do(func() {
-		k, err := numeric.NewKernel(numeric.XOverExpm1, -KernelXMax, KernelXMax, KernelRelTol)
+		k, err := numeric.NewFlatKernel(numeric.XOverExpm1, -KernelXMax, KernelXMax, KernelRelTol)
 		if err != nil || k.MaxRelError() > KernelRelTol {
 			return
 		}
+		// Asymptotic tails (see KernelXMax): g(x) = -x below the band,
+		// 0 above it.
+		k.WithTails([4]float64{0, -1, 0, 0}, [4]float64{})
 		kernel = &Kernel{k: k}
 	})
 	return kernel
 }
 
 // G evaluates the dimensionless kernel g(x) = x/(exp(x)-1), interpolated
-// inside |x| <= KernelXMax and exact outside.
+// inside |x| <= KernelXMax and asymptotic outside (-x below, 0 above).
 func (k *Kernel) G(x float64) float64 { return k.k.Eval(x) }
+
+// Flat exposes the underlying constant-time kernel so the solver's
+// monomorphic inner loops can evaluate it without an extra call frame.
+func (k *Kernel) Flat() *numeric.FlatKernel { return k.k }
 
 // Rate is the tabulated counterpart of Rate: identical arguments and
 // semantics, relative error bounded by KernelRelTol (the prefactor and

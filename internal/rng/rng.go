@@ -106,6 +106,134 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
 
+// batchSize is the refill granularity of Batch. Two draws per Monte
+// Carlo event (waiting time + selection) means one refill per ~128
+// events; the buffer is one page of uint64s, small enough to stay
+// cache-resident.
+const batchSize = 256
+
+// Batch draws from a Source through a refillable buffer: the underlying
+// generator is advanced batchSize values at a time in a tight loop, and
+// individual draws are single loads from the buffer. Consumption order
+// equals generation order, so a Batch yields bit-for-bit the stream of
+// the Source it wraps — batching is purely an amortization of the
+// per-draw state update, never a reordering (see TestBatchMatchesSource).
+//
+// Checkpointing works in logical coordinates: MarshalBinary serializes
+// the state of a plain Source that has produced exactly the values
+// consumed so far, so snapshots are byte-compatible with Source's
+// encoding regardless of how much of the buffer is prefetched. A Batch
+// is not safe for concurrent use, mirroring Source.
+type Batch struct {
+	src  Source // underlying generator, ahead of consumption by n-pos draws
+	snap Source // state at the last refill; logical state = snap advanced pos draws
+	buf  [batchSize]uint64
+	pos  int // next unconsumed buffer slot
+	n    int // filled slots (0 before the first refill and after restores)
+}
+
+// NewBatch returns a buffered generator seeded like New(seed): it
+// produces exactly New(seed)'s stream.
+func NewBatch(seed uint64) *Batch {
+	b := &Batch{}
+	b.src = *New(seed)
+	b.snap = b.src
+	return b
+}
+
+// refill snapshots the current logical state and generates the next
+// batchSize values.
+func (b *Batch) refill() {
+	b.snap = b.src
+	for i := range b.buf {
+		b.buf[i] = b.src.Uint64()
+	}
+	b.pos, b.n = 0, batchSize
+}
+
+// Uint64 returns the next 64 random bits of the underlying stream.
+//
+//semsim:hot
+func (b *Batch) Uint64() uint64 {
+	if b.pos == b.n {
+		b.refill()
+	}
+	v := b.buf[b.pos]
+	b.pos++
+	return v
+}
+
+// Float64 returns a uniform float64 in the half-open interval [0, 1).
+//
+//semsim:hot
+func (b *Batch) Float64() float64 {
+	return float64(b.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Open returns a uniform float64 in the open interval (0, 1), matching
+// Source.Open draw for draw.
+//
+//semsim:hot
+func (b *Batch) Open() float64 {
+	for {
+		v := b.Float64()
+		if v > 0 {
+			return v
+		}
+	}
+}
+
+// Exp returns an exponentially distributed waiting time with the given
+// total rate (Eq. 5: dt = -ln(r)/rate), matching Source.Exp draw for
+// draw. It panics if rate <= 0.
+//
+//semsim:hot
+func (b *Batch) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp called with non-positive rate")
+	}
+	return -math.Log(b.Open()) / rate
+}
+
+// Intn returns a uniform integer in [0, n), matching Source.Intn draw
+// for draw. It panics if n <= 0.
+func (b *Batch) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		hi, lo := bits.Mul64(b.Uint64(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// MarshalBinary encodes the logical generator state — the Source state
+// after exactly the consumed draws — in Source's 32-byte format, so
+// Batch and Source snapshots are interchangeable. Replaying at most
+// batchSize draws from the refill snapshot reconstructs it.
+func (b *Batch) MarshalBinary() ([]byte, error) {
+	logical := b.snap
+	for i := 0; i < b.pos; i++ {
+		logical.Uint64()
+	}
+	return logical.MarshalBinary()
+}
+
+// UnmarshalBinary restores a state produced by Source.MarshalBinary or
+// Batch.MarshalBinary, discarding any prefetched buffer.
+func (b *Batch) UnmarshalBinary(data []byte) error {
+	if err := b.src.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	b.snap = b.src
+	b.pos, b.n = 0, 0
+	return nil
+}
+
 // MarshalBinary encodes the generator state (32 bytes, little endian),
 // so long simulations can checkpoint and resume bit-exactly.
 func (r *Source) MarshalBinary() ([]byte, error) {

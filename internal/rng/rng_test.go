@@ -135,3 +135,121 @@ func TestOpenNeverZero(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchMatchesSource is the bit-identity oracle for the buffered
+// generator: a long interleaved sequence of every draw kind must equal
+// the unbatched stream value for value. The interleaving crosses refill
+// boundaries many times (each Exp consumes at least two raw values via
+// Open/Float64, each Intn at least one), so buffer bookkeeping errors
+// at the edges cannot hide.
+func TestBatchMatchesSource(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		src, bat := New(seed), NewBatch(seed)
+		for i := 0; i < 5000; i++ {
+			switch i % 5 {
+			case 0:
+				if a, b := src.Uint64(), bat.Uint64(); a != b {
+					t.Fatalf("seed %d step %d: Uint64 %d != %d", seed, i, a, b)
+				}
+			case 1:
+				if a, b := src.Float64(), bat.Float64(); a != b {
+					t.Fatalf("seed %d step %d: Float64 %v != %v", seed, i, a, b)
+				}
+			case 2:
+				if a, b := src.Open(), bat.Open(); a != b {
+					t.Fatalf("seed %d step %d: Open %v != %v", seed, i, a, b)
+				}
+			case 3:
+				if a, b := src.Exp(3.0), bat.Exp(3.0); a != b {
+					t.Fatalf("seed %d step %d: Exp %v != %v", seed, i, a, b)
+				}
+			case 4:
+				if a, b := src.Intn(1000), bat.Intn(1000); a != b {
+					t.Fatalf("seed %d step %d: Intn %d != %d", seed, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMarshalMidBuffer checks that a snapshot taken at an
+// arbitrary point inside the prefetch buffer encodes the logical
+// position — the state a plain Source would have after the same
+// consumed draws — and that both a Source and a fresh Batch restored
+// from it continue the stream bit-exactly.
+func TestBatchMarshalMidBuffer(t *testing.T) {
+	for _, consumed := range []int{0, 1, 100, batchSize - 1, batchSize, batchSize + 7, 3*batchSize + 13} {
+		bat := NewBatch(77)
+		ref := New(77)
+		for i := 0; i < consumed; i++ {
+			if bat.Uint64() != ref.Uint64() {
+				t.Fatalf("streams diverged before snapshot at %d", i)
+			}
+		}
+		blob, err := bat.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != string(want) {
+			t.Fatalf("consumed=%d: batch snapshot differs from unbatched source snapshot", consumed)
+		}
+
+		var asSource Source
+		if err := asSource.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		asBatch := NewBatch(0)
+		if err := asBatch.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 600; i++ {
+			live := bat.Uint64()
+			if v := asSource.Uint64(); v != live {
+				t.Fatalf("consumed=%d draw %d: restored Source %d != live batch %d", consumed, i, v, live)
+			}
+			if v := asBatch.Uint64(); v != live {
+				t.Fatalf("consumed=%d draw %d: restored Batch %d != live batch %d", consumed, i, v, live)
+			}
+		}
+	}
+}
+
+func TestBatchPanicsLikeSource(t *testing.T) {
+	b := NewBatch(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Batch.Exp(0) did not panic")
+			}
+		}()
+		b.Exp(0)
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Batch.Intn(0) did not panic")
+		}
+	}()
+	b.Intn(0)
+}
+
+func BenchmarkSourceFloat64(b *testing.B) {
+	r := New(9)
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkBatchFloat64(b *testing.B) {
+	r := NewBatch(9)
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}

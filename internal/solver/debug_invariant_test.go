@@ -69,7 +69,7 @@ func TestInvariantCatchesElectronImbalance(t *testing.T) {
 	// them, so no single-carrier channel shape can legitimize the total.
 	pre := s.islandElectronSum()
 	s.n[0] += 2
-	s.debugCheckEvent(&s.chans[0], pre)
+	s.debugCheckEvent(0, pre)
 	if invariant.Violations() == 0 {
 		t.Fatal("electron imbalance not detected")
 	}

@@ -15,19 +15,26 @@ package solver
 //     non-adaptive solver stages every channel each event, so its
 //     selection-tree maintenance costs O(n) instead of O(n log n).
 //
-// total() and find() must not be called with a non-empty staged batch.
+// Staged deltas live in parallel index/delta arrays with an epoch-
+// stamped dedup table: staging the same index twice in one batch
+// accumulates into a single slot, so a batch never exceeds n entries
+// no matter how many capped steps pile up between selections. Callers
+// may defer flush() until just before total()/find() — both refuse a
+// non-empty batch in debug builds.
 type fenwick struct {
-	n       int
-	tree    []float64 // 1-based BIT partial sums
-	vals    []float64 // current value per index
-	pending []pendingUpdate
-	log2    int // ceil(log2(n)), the per-update tree cost
-}
+	n    int
+	tree []float64 // 1-based BIT partial sums
+	vals []float64 // current value per index
+	log2 int       // ceil(log2(n)), the per-update tree cost
 
-// pendingUpdate is one staged tree delta (vals is already updated).
-type pendingUpdate struct {
-	i int
-	d float64
+	// Staged batch, struct-of-arrays: pendIdx[k] gets tree delta
+	// pendDelta[k]. slot/stamp dedup staged indices per epoch: index i
+	// has a live slot iff stamp[i] == epoch.
+	pendIdx   []int32
+	pendDelta []float64
+	slot      []int32
+	stamp     []uint32
+	epoch     uint32
 }
 
 func newFenwick(n int) *fenwick {
@@ -35,7 +42,17 @@ func newFenwick(n int) *fenwick {
 	for 1<<log2 < n {
 		log2++
 	}
-	return &fenwick{n: n, tree: make([]float64, n+1), vals: make([]float64, n), log2: log2}
+	return &fenwick{
+		n:         n,
+		tree:      make([]float64, n+1),
+		vals:      make([]float64, n),
+		log2:      log2,
+		pendIdx:   make([]int32, 0, n),
+		pendDelta: make([]float64, 0, n),
+		slot:      make([]int32, n),
+		stamp:     make([]uint32, n),
+		epoch:     1,
+	}
 }
 
 // newFenwickFrom builds a tree over the given weights in O(n); negative
@@ -82,7 +99,9 @@ func (f *fenwick) set(i int, v float64) {
 
 // stage assigns value v (>= 0) to index i without updating the tree;
 // the caller must flush (or rebuild) before total() or find(). Staging
-// the same index twice in one batch is allowed.
+// the same index twice in one batch accumulates into one slot.
+//
+//semsim:hot
 func (f *fenwick) stage(i int, v float64) {
 	if v < 0 {
 		v = 0
@@ -92,15 +111,40 @@ func (f *fenwick) stage(i int, v float64) {
 		return
 	}
 	f.vals[i] = v
-	f.pending = append(f.pending, pendingUpdate{i: i, d: d})
+	if f.stamp[i] == f.epoch {
+		f.pendDelta[f.slot[i]] += d
+		return
+	}
+	f.stamp[i] = f.epoch
+	f.slot[i] = int32(len(f.pendIdx))
+	f.pendIdx = append(f.pendIdx, int32(i)) //hotalloc:ok capacity n preallocated, dedup bounds length
+	f.pendDelta = append(f.pendDelta, d)    //hotalloc:ok capacity n preallocated, dedup bounds length
 }
+
+// clearPending drops the staged batch and opens a new dedup epoch.
+func (f *fenwick) clearPending() {
+	f.pendIdx = f.pendIdx[:0]
+	f.pendDelta = f.pendDelta[:0]
+	f.epoch++
+	if f.epoch == 0 { // uint32 wrap: stamps from the old cycle must not alias
+		for i := range f.stamp {
+			f.stamp[i] = 0
+		}
+		f.epoch = 1
+	}
+}
+
+// pendingCount reports the number of distinct staged indices.
+func (f *fenwick) pendingCount() int { return len(f.pendIdx) }
 
 // flush commits the staged batch: incremental O(k log n) point updates
 // for small batches, a bulk O(n) rebuild once that would be slower. It
 // reports the batch size and which strategy it chose (observability
 // input; callers that don't care ignore the results).
+//
+//semsim:hot
 func (f *fenwick) flush() (batch int, rebuilt bool) {
-	batch = len(f.pending)
+	batch = len(f.pendIdx)
 	if batch == 0 {
 		return 0, false
 	}
@@ -108,12 +152,13 @@ func (f *fenwick) flush() (batch int, rebuilt bool) {
 		f.rebuild()
 		return batch, true
 	}
-	for _, p := range f.pending {
-		for j := p.i + 1; j <= f.n; j += j & (-j) {
-			f.tree[j] += p.d
+	for k, i := range f.pendIdx {
+		d := f.pendDelta[k]
+		for j := int(i) + 1; j <= f.n; j += j & (-j) {
+			f.tree[j] += d
 		}
 	}
-	f.pending = f.pending[:0]
+	f.clearPending()
 	return batch, false
 }
 
@@ -121,6 +166,8 @@ func (f *fenwick) flush() (batch int, rebuilt bool) {
 func (f *fenwick) at(i int) float64 { return f.vals[i] }
 
 // total returns the sum of all values.
+//
+//semsim:hot
 func (f *fenwick) total() float64 {
 	s := 0.0
 	for j := f.n; j > 0; j -= j & (-j) {
@@ -133,7 +180,7 @@ func (f *fenwick) total() float64 {
 // deltas (vals already holds the staged values) and clearing
 // accumulated floating-point drift from incremental updates.
 func (f *fenwick) rebuild() {
-	f.pending = f.pending[:0]
+	f.clearPending()
 	f.build()
 }
 
@@ -141,6 +188,8 @@ func (f *fenwick) rebuild() {
 // through i exceeds u. u must be in [0, total()). If rounding pushes
 // the search past the end, the last index with a positive value is
 // returned.
+//
+//semsim:hot
 func (f *fenwick) find(u float64) int {
 	idx := 0
 	// Highest power of two <= n.

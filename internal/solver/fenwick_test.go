@@ -190,8 +190,69 @@ func TestFenwickStageSameIndexTwice(t *testing.T) {
 	f := newFenwick(4)
 	f.stage(2, 5)
 	f.stage(2, 1) // second stage in the same batch must win
+	if f.pendingCount() != 1 {
+		t.Fatalf("pendingCount = %d, want 1 (same index dedups)", f.pendingCount())
+	}
 	f.flush()
 	if f.at(2) != 1 || math.Abs(f.total()-1) > 1e-12 {
 		t.Fatalf("at(2)=%g total=%g, want 1, 1", f.at(2), f.total())
+	}
+}
+
+func TestFenwickPendingDedupAcrossBatches(t *testing.T) {
+	// The dedup table is epoch-stamped: a slot from a flushed batch must
+	// not be reused by a later batch, across many flush/rebuild cycles.
+	const n = 16
+	f := newFenwick(n)
+	g := newFenwick(n)
+	r := rng.New(4)
+	for round := 0; round < 500; round++ {
+		for k := 0; k < 3; k++ {
+			i := r.Intn(n)
+			v := r.Float64()
+			f.stage(i, v)
+			g.set(i, v)
+		}
+		if f.pendingCount() > 3 {
+			t.Fatalf("round %d: pendingCount %d > 3 staged", round, f.pendingCount())
+		}
+		if round%7 == 0 {
+			f.rebuild()
+		} else {
+			f.flush()
+		}
+		for i := 0; i < n; i++ {
+			if f.at(i) != g.at(i) {
+				t.Fatalf("round %d: at(%d) %g != %g", round, i, f.at(i), g.at(i))
+			}
+		}
+		if math.Abs(f.total()-g.total()) > 1e-9*(1+g.total()) {
+			t.Fatalf("round %d: total %g != %g", round, f.total(), g.total())
+		}
+	}
+}
+
+func TestFenwickDeferredFlush(t *testing.T) {
+	// Staged values are visible through at() immediately; the tree only
+	// catches up at flush. This is the contract the solver's deferred
+	// per-event flush relies on.
+	f := newFenwick(8)
+	f.stage(1, 2)
+	f.stage(5, 3)
+	if f.at(1) != 2 || f.at(5) != 3 {
+		t.Fatal("staged values must be visible through at() before flush")
+	}
+	if f.pendingCount() != 2 {
+		t.Fatalf("pendingCount = %d, want 2", f.pendingCount())
+	}
+	batch, rebuilt := f.flush()
+	if batch != 2 || rebuilt {
+		t.Fatalf("flush = (%d, %v), want (2, false)", batch, rebuilt)
+	}
+	if math.Abs(f.total()-5) > 1e-12 {
+		t.Fatalf("total = %g, want 5", f.total())
+	}
+	if batch, _ := f.flush(); batch != 0 {
+		t.Fatalf("second flush reported batch %d, want 0", batch)
 	}
 }

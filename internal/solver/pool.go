@@ -13,18 +13,21 @@ import "sync"
 //
 // The pool is sized once (Options.Parallel) and its goroutines persist
 // for the lifetime of the Sim: a refresh dispatch costs two channel
-// operations per worker instead of goroutine spawns. Sim.Close (or its
-// finalizer) terminates the workers.
+// operations per worker instead of goroutine spawns. The WaitGroup
+// lives in the pool rather than per dispatch, so run/runRanges allocate
+// nothing: one pool serves one Sim and dispatches are never concurrent
+// (run blocks until the batch drains before returning). Sim.Close (or
+// its finalizer) terminates the workers.
 type pool struct {
 	workers int // shard count, including the calling goroutine
 	jobs    chan poolJob
+	wg      sync.WaitGroup
 }
 
 type poolJob struct {
 	fn     func(worker, lo, hi int)
 	worker int
 	lo, hi int
-	wg     *sync.WaitGroup
 }
 
 // newPool starts workers-1 goroutines; the calling goroutine acts as
@@ -35,7 +38,7 @@ func newPool(workers int) *pool {
 		go func() {
 			for j := range p.jobs {
 				j.fn(j.worker, j.lo, j.hi)
-				j.wg.Done()
+				p.wg.Done()
 			}
 		}()
 	}
@@ -59,7 +62,6 @@ func (p *pool) run(total int, fn func(worker, lo, hi int)) {
 		fn(0, 0, total)
 		return
 	}
-	var wg sync.WaitGroup
 	base, extra := total/n, total%n
 	lo := 0
 	first := poolJob{}
@@ -68,18 +70,18 @@ func (p *pool) run(total int, fn func(worker, lo, hi int)) {
 		if w < extra {
 			size++
 		}
-		job := poolJob{fn: fn, worker: w, lo: lo, hi: lo + size, wg: &wg}
+		job := poolJob{fn: fn, worker: w, lo: lo, hi: lo + size}
 		lo += size
 		if w == 0 {
 			first = job
 			continue
 		}
-		wg.Add(1)
+		p.wg.Add(1)
 		p.jobs <- job
 	}
 	// The caller works shard 0 while the others run.
 	first.fn(first.worker, first.lo, first.hi)
-	wg.Wait()
+	p.wg.Wait()
 }
 
 // runRanges is run with caller-chosen shard boundaries instead of equal
@@ -96,19 +98,18 @@ func (p *pool) runRanges(bounds []int, fn func(worker, lo, hi int)) {
 		fn(0, bounds[0], bounds[1])
 		return
 	}
-	var wg sync.WaitGroup
 	for w := 1; w < m; w++ {
 		if bounds[w] == bounds[w+1] {
 			continue
 		}
-		wg.Add(1)
-		p.jobs <- poolJob{fn: fn, worker: w, lo: bounds[w], hi: bounds[w+1], wg: &wg}
+		p.wg.Add(1)
+		p.jobs <- poolJob{fn: fn, worker: w, lo: bounds[w], hi: bounds[w+1]}
 	}
 	// The caller works shard 0 while the others run.
 	if bounds[0] < bounds[1] {
 		fn(0, bounds[0], bounds[1])
 	}
-	wg.Wait()
+	p.wg.Wait()
 }
 
 // close terminates the worker goroutines. run must not be called after.

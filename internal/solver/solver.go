@@ -19,6 +19,13 @@
 // Secondary effects (cotunneling) and superconducting channels
 // (quasi-particle and Cooper-pair tunneling) are always handled by the
 // non-adaptive path, as in the paper.
+//
+// The per-event state is laid out struct-of-arrays: channel descriptors
+// and per-junction constants (node indices, C^-1 self-terms, rate
+// prefactors) live in flat parallel slices so the rate-recomputation
+// loops stream through contiguous memory, and the exact-vs-table
+// dispatch is resolved once at construction (kernKind) instead of per
+// rate evaluation. See DESIGN.md §11.
 package solver
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"semsim/internal/circuit"
 	"semsim/internal/cotunnel"
+	"semsim/internal/numeric"
 	"semsim/internal/obs"
 	"semsim/internal/orthodox"
 	"semsim/internal/rng"
@@ -136,16 +144,25 @@ const (
 	chCooper                 // Cooper-pair tunneling
 )
 
-// channel is one possible stochastic event.
-type channel struct {
-	kind     chKind
-	junc     int // primary junction id
-	junc2    int // second junction for cotunneling, else -1
-	src, dst int // node ids; carrier moves src -> dst
-	mid      int // intermediate island for cotunneling, else -1
-	q        float64
-	carriers int // electrons transferred (1 or 2)
-}
+// chQ and chCarriers give the tunneled charge magnitude and carrier
+// count per channel kind: the per-channel q/carriers fields of the old
+// AoS channel struct, now a two-load lookup.
+var (
+	chQ        = [3]float64{chElectron: units.E, chCotunnel: units.E, chCooper: 2 * units.E}
+	chCarriers = [3]int{chElectron: 1, chCotunnel: 1, chCooper: 2}
+)
+
+// kernKind selects the first-order rate kernel once at construction, so
+// the per-junction recomputation loops are monomorphic: no per-rate
+// branching between exact, tabulated and superconducting evaluation.
+type kernKind uint8
+
+const (
+	kernExact   kernKind = iota // normal state, T > 0, exact x/expm1(x)
+	kernExactT0                 // normal state, T <= 0 limit
+	kernTable                   // normal state, T > 0, flat interpolation table
+	kernSuper                   // superconducting quasi-particle I-V table
+)
 
 // Stats counts the work the solver performed; RateCalcs is the
 // machine-independent cost metric the paper's adaptive claim is about.
@@ -179,7 +196,7 @@ type Sample struct {
 type Sim struct {
 	c   *circuit.Circuit
 	opt Options
-	rnd *rng.Source
+	rnd *rng.Batch
 
 	// pe is the potential engine all C^-1-mediated arithmetic goes
 	// through (dense by default; sparse/truncated per Options).
@@ -191,26 +208,84 @@ type Sim struct {
 	t    float64
 	n    []int     // electrons per island (island order)
 	v    []float64 // island potentials, exact after every event
-	vext []float64 // external voltages at current t
+	vext []float64 // external voltages at the last refresh/input change
 
-	chans []channel
-	fen   *fenwick
+	// Channel descriptors, struct-of-arrays. Electron channels occupy
+	// indices 2j (A->B) and 2j+1 (B->A) for junction j; secondary
+	// channels (cotunneling, Cooper pairs) follow, listed in secChans.
+	chKinds []chKind
+	chJunc  []int32 // primary junction id
+	chJunc2 []int32 // second junction for cotunneling, else -1
+	chSrc   []int32 // node ids; carrier moves src -> dst
+	chDst   []int32
+	chMid   []int32 // intermediate island for cotunneling, else -1
 
-	// Per-junction adaptive state and channel indices.
+	fen *fenwick
+
+	// Per-junction adaptive state.
 	b0       []float64 // accumulated testing factor (volts)
 	dwFw     []float64 // cached dW at last recalc, A->B
 	dwBw     []float64
-	chFw     []int // channel index per junction, electron A->B
-	chBw     []int
 	secChans []int // cotunnel + Cooper channel indices
 
-	// Within-run parallel rate engine (nil/empty when serial).
-	pool        *pool
-	rateFw      []float64 // per-junction scratch, compute phase
-	rateBw      []float64
-	secRate     []float64 // per-secondary-channel scratch
-	qScratch    []float64 // island charge vector for the sharded solve
-	workerCalcs []uint64  // per-worker rate-calc counters
+	// Flat per-junction constants for the rate kernels: node ids, island
+	// or external index per endpoint (-1 for the other), the exact-mode
+	// denominator e^2 R, and the constant C^-1 self-term of dW,
+	// (Cinv[s][s] - 2 Cinv[s][d] + Cinv[d][d]) e^2 / 2. The self-term
+	// is precomputed with the exact float ops of Potentials.DeltaW over
+	// the immutable C^-1, so cached dW values are bit-identical to
+	// recomputed ones.
+	juncA, juncB       []int32
+	juncAIsl, juncBIsl []int32
+	juncAExt, juncBExt []int32
+	juncDenom          []float64
+	juncSelfHalfE2     []float64
+
+	// Kernel dispatch, resolved once at construction.
+	kern    kernKind
+	kT      float64
+	flatK   *numeric.FlatKernel // normal-state g(x) table (kernTable)
+	cotFlat *numeric.FlatKernel // cotunneling bracket table (nil: exact)
+
+	// Per-secondary-channel constants, indexed by position in secChans:
+	// endpoint island/external indices, dW self-terms (at the channel's
+	// charge), and cotunneling resistances and prefactor.
+	secSrcIsl, secSrcExt []int32
+	secMidIsl, secMidExt []int32
+	secDstIsl, secDstExt []int32
+	secSelfSD            []float64 // (src,dst) self-term at channel charge
+	secSelfSM, secSelfMD []float64 // cotunneling intermediate-hop self-terms
+	secR1, secR2         []float64
+	secPref              []float64 // tabulated cotunneling prefactor
+
+	// Cooper-pair quasi-particle escape lists: channel i (secChans
+	// position) owns coopJunc[coopStart[i]:coopStart[i+1]], with the
+	// post-tunneling potential shift of each junction endpoint
+	// precomputed (PotentialShift over the immutable C^-1).
+	coopStart              []int32
+	coopJunc               []int32
+	coopShiftA, coopShiftB []float64
+
+	// extV caches SourceVoltage(id, t) per external index, refreshed
+	// whenever t moves, so rate kernels read array slots instead of
+	// dispatching into Source implementations per evaluation.
+	extIDs    []int
+	extV      []float64
+	extIdxOf  []int32 // node id -> external index, -1 for islands
+	extVFresh bool    // static circuits: filled once, never again
+
+	// Within-run parallel rate engine (pool nil when serial).
+	pool           *pool
+	rateFw         []float64 // per-junction scratch, compute phase
+	rateBw         []float64
+	secRate        []float64 // per-secondary-channel scratch
+	qScratch       []float64 // island charge vector for the sharded solve
+	workerCalcs    []uint64  // per-worker rate-calc counters
+	allJunc        []int     // identity index list [0, nj)
+	fnJuncShard    func(worker, lo, hi int)
+	fnFlaggedShard func(worker, lo, hi int)
+	fnSecShard     func(worker, lo, hi int)
+	fnSolveShard   func(worker, lo, hi int)
 
 	// Tabulated normal-state kernels (nil when exact or superconducting).
 	normK    *orthodox.Kernel
@@ -229,6 +304,7 @@ type Sim struct {
 	breaks  []float64 // merged PWL breakpoints, sorted
 	maxStep float64   // cap for continuous sources (sine/ramps); 0 = none
 	horizon float64   // active Run deadline; steps never overshoot it
+	ramps   []PWLRamp // sources needing ramp subdivision, external order
 
 	// Measurement.
 	charge    []float64 // per junction, conventional charge A->B (coulombs)
@@ -245,6 +321,18 @@ type Sim struct {
 	stamp   uint32
 	scratch []int
 	flagged []int // junctions flagged this update, recalculated in batch
+
+	// Per-event memo of the event's potential shift per island: the
+	// adaptive test reads each island's shift once per event instead of
+	// recomputing PotentialShift per tested junction endpoint.
+	dpVal   []float64
+	dpStamp []uint32
+	dpEpoch uint32
+
+	// Input-change scratch (no per-change allocation).
+	vextScratch []float64
+	dvIsl       []float64 // per-island potential delta of the change
+	dvExt       []float64 // per-external voltage delta of the change
 
 	// dbgInit arms the potential-drift invariant once the first full
 	// refresh has established a baseline (semsimdebug builds only).
@@ -280,7 +368,7 @@ func New(c *circuit.Circuit, opt Options) (*Sim, error) {
 	s := &Sim{
 		c:         c,
 		opt:       opt,
-		rnd:       rng.New(opt.Seed),
+		rnd:       rng.NewBatch(opt.Seed),
 		n:         make([]int, c.NumIslands()),
 		v:         make([]float64, c.NumIslands()),
 		vext:      c.ExternalVoltages(nil, 0),
@@ -303,6 +391,7 @@ func New(c *circuit.Circuit, opt Options) (*Sim, error) {
 	}
 	s.pe = pe
 	s.obs.PotentialEngine(pe.NNZ(), pe.TruncationRatio(), pe.Fill())
+	s.buildExternalIndex()
 	s.buildChannels()
 	if s.superOn {
 		if err := s.buildSuper(); err != nil {
@@ -310,19 +399,57 @@ func New(c *circuit.Circuit, opt Options) (*Sim, error) {
 		}
 	}
 	s.buildRateEngine()
+	s.buildJunctionCache()
+	s.buildSecondaryCache()
 	s.collectBreakpoints()
-	s.fen = newFenwick(len(s.chans))
+	s.fen = newFenwick(len(s.chKinds))
+	s.dpVal = make([]float64, c.NumIslands())
+	s.dpStamp = make([]uint32, c.NumIslands())
+	s.vextScratch = make([]float64, len(s.vext))
+	s.dvIsl = make([]float64, c.NumIslands())
+	s.dvExt = make([]float64, len(s.vext))
 	s.fullRefresh()
 	return s, nil
 }
 
-// buildRateEngine prepares the within-run parallel pool and the
-// tabulated normal-state kernels, when enabled and worthwhile.
+// buildExternalIndex prepares the external-voltage cache and the node
+// id -> external index map.
+func (s *Sim) buildExternalIndex() {
+	s.extIDs = s.c.Externals()
+	s.extV = make([]float64, len(s.extIDs))
+	s.extIdxOf = make([]int32, s.c.NumNodes())
+	for i := range s.extIdxOf {
+		s.extIdxOf[i] = -1
+	}
+	for i, id := range s.extIDs {
+		s.extIdxOf[id] = int32(i)
+	}
+}
+
+// nodeRef resolves a node id to its (island index, external index)
+// pair; exactly one of the two is >= 0.
+func (s *Sim) nodeRef(node int) (isl, ext int32) {
+	if k := s.c.IslandIndex(node); k >= 0 {
+		return int32(k), -1
+	}
+	return -1, s.extIdxOf[node]
+}
+
+// cinvSelf is the C^-1 self-term of a src->dst transfer, with the exact
+// float ops of Potentials.DeltaW.
+func (s *Sim) cinvSelf(src, dst int) float64 {
+	return s.pe.Cinv(src, src) - 2*s.pe.Cinv(src, dst) + s.pe.Cinv(dst, dst)
+}
+
+// buildRateEngine prepares the within-run parallel pool, the shared
+// rate scratch and the tabulated normal-state kernels, when enabled and
+// worthwhile.
 func (s *Sim) buildRateEngine() {
 	nj := s.c.NumJunctions()
 	if s.opt.RateTables && !s.superOn && s.opt.Temp > 0 {
 		if k := orthodox.SharedKernel(); k != nil {
 			s.normK = k
+			s.flatK = k.Flat()
 			kT := units.KB * s.opt.Temp
 			s.invKT = 1 / kT
 			s.ratePref = make([]float64, nj)
@@ -331,8 +458,31 @@ func (s *Sim) buildRateEngine() {
 			}
 		}
 		if s.opt.Cotunneling {
-			s.cotK = cotunnel.SharedKernel()
+			if k := cotunnel.SharedKernel(); k != nil {
+				s.cotK = k
+				s.cotFlat = k.Flat()
+			}
 		}
+	}
+	s.kT = units.KB * s.opt.Temp
+	switch {
+	case s.superOn:
+		s.kern = kernSuper
+	case s.flatK != nil:
+		s.kern = kernTable
+	case s.opt.Temp <= 0:
+		s.kern = kernExactT0
+	default:
+		s.kern = kernExact
+	}
+	// Compute-then-commit scratch, used by serial and parallel paths
+	// alike so both stage into the selection tree in the same order.
+	s.rateFw = make([]float64, nj)
+	s.rateBw = make([]float64, nj)
+	s.secRate = make([]float64, len(s.secChans))
+	s.allJunc = make([]int, nj)
+	for j := range s.allJunc {
+		s.allJunc[j] = j
 	}
 	maxBatch := nj
 	if n := len(s.secChans); n > maxBatch {
@@ -345,10 +495,19 @@ func (s *Sim) buildRateEngine() {
 		return
 	}
 	s.pool = newPool(s.opt.Parallel)
-	s.rateFw = make([]float64, nj)
-	s.rateBw = make([]float64, nj)
-	s.secRate = make([]float64, len(s.secChans))
 	s.workerCalcs = make([]uint64, s.opt.Parallel)
+	// Shard closures are built once: the per-dispatch cost is the pool
+	// handoff alone, with no per-event closure allocation. Each calls a
+	// named method, so the sharded kernels stay part of the audited
+	// shard API (see internal/lint sharddiscipline).
+	s.fnJuncShard = func(_, lo, hi int) { s.computeJuncList(s.allJunc[lo:hi]) }
+	s.fnFlaggedShard = func(_, lo, hi int) { s.computeJuncList(s.flagged[lo:hi]) }
+	s.fnSecShard = func(w, lo, hi int) {
+		var calcs uint64
+		s.computeSecRange(lo, hi, &calcs)
+		s.workerCalcs[w] = calcs
+	}
+	s.fnSolveShard = func(_, lo, hi int) { s.pe.SolveRange(s.v, s.qScratch, s.vext, lo, hi) }
 	// Sparse refresh solves shard by stored-nonzero count: truncation
 	// leaves skewed row lengths, so equal row ranges would imbalance.
 	// Sharding never changes the computed floats — rows are independent.
@@ -370,39 +529,135 @@ func (s *Sim) Close() {
 	}
 }
 
-// buildChannels enumerates every event channel.
+// buildChannels enumerates every event channel into the SoA arrays.
 func (s *Sim) buildChannels() {
 	nj := s.c.NumJunctions()
-	s.chFw = make([]int, nj)
-	s.chBw = make([]int, nj)
 	s.b0 = make([]float64, nj)
 	s.dwFw = make([]float64, nj)
 	s.dwBw = make([]float64, nj)
+	add := func(kind chKind, junc, junc2, src, mid, dst int) int {
+		s.chKinds = append(s.chKinds, kind)
+		s.chJunc = append(s.chJunc, int32(junc))
+		s.chJunc2 = append(s.chJunc2, int32(junc2))
+		s.chSrc = append(s.chSrc, int32(src))
+		s.chMid = append(s.chMid, int32(mid))
+		s.chDst = append(s.chDst, int32(dst))
+		return len(s.chKinds) - 1
+	}
 	for j := 0; j < nj; j++ {
 		jn := s.c.Junction(j)
-		s.chFw[j] = len(s.chans)
-		s.chans = append(s.chans, channel{kind: chElectron, junc: j, junc2: -1, mid: -1,
-			src: jn.A, dst: jn.B, q: units.E, carriers: 1})
-		s.chBw[j] = len(s.chans)
-		s.chans = append(s.chans, channel{kind: chElectron, junc: j, junc2: -1, mid: -1,
-			src: jn.B, dst: jn.A, q: units.E, carriers: 1})
+		add(chElectron, j, -1, jn.A, -1, jn.B) // channel 2j
+		add(chElectron, j, -1, jn.B, -1, jn.A) // channel 2j+1
 	}
 	if s.opt.Cotunneling {
 		for _, ct := range cotunnel.Channels(s.c) {
-			s.secChans = append(s.secChans, len(s.chans))
-			s.chans = append(s.chans, channel{kind: chCotunnel, junc: ct.J1, junc2: ct.J2,
-				src: ct.Src, mid: ct.Mid, dst: ct.Dst, q: units.E, carriers: 1})
+			s.secChans = append(s.secChans, add(chCotunnel, ct.J1, ct.J2, ct.Src, ct.Mid, ct.Dst))
 		}
 	}
 	if s.c.Super().Superconducting() {
 		for j := 0; j < nj; j++ {
 			jn := s.c.Junction(j)
-			s.secChans = append(s.secChans, len(s.chans))
-			s.chans = append(s.chans, channel{kind: chCooper, junc: j, junc2: -1, mid: -1,
-				src: jn.A, dst: jn.B, q: 2 * units.E, carriers: 2})
-			s.secChans = append(s.secChans, len(s.chans))
-			s.chans = append(s.chans, channel{kind: chCooper, junc: j, junc2: -1, mid: -1,
-				src: jn.B, dst: jn.A, q: 2 * units.E, carriers: 2})
+			s.secChans = append(s.secChans, add(chCooper, j, -1, jn.A, -1, jn.B))
+			s.secChans = append(s.secChans, add(chCooper, j, -1, jn.B, -1, jn.A))
+		}
+	}
+}
+
+// buildJunctionCache precomputes the flat per-junction constants the
+// monomorphic rate loops read.
+func (s *Sim) buildJunctionCache() {
+	nj := s.c.NumJunctions()
+	s.juncA = make([]int32, nj)
+	s.juncB = make([]int32, nj)
+	s.juncAIsl = make([]int32, nj)
+	s.juncBIsl = make([]int32, nj)
+	s.juncAExt = make([]int32, nj)
+	s.juncBExt = make([]int32, nj)
+	s.juncDenom = make([]float64, nj)
+	s.juncSelfHalfE2 = make([]float64, nj)
+	for j := 0; j < nj; j++ {
+		jn := s.c.Junction(j)
+		s.juncA[j], s.juncB[j] = int32(jn.A), int32(jn.B)
+		s.juncAIsl[j], s.juncAExt[j] = s.nodeRef(jn.A)
+		s.juncBIsl[j], s.juncBExt[j] = s.nodeRef(jn.B)
+		s.juncDenom[j] = units.E * units.E * jn.R
+		s.juncSelfHalfE2[j] = s.cinvSelf(jn.A, jn.B) * units.E * units.E / 2
+	}
+}
+
+// buildSecondaryCache precomputes the per-secondary-channel constants:
+// endpoint indices, dW self-terms, cotunneling resistances/prefactors
+// and Cooper-pair quasi-particle escape lists.
+func (s *Sim) buildSecondaryCache() {
+	n := len(s.secChans)
+	s.coopStart = make([]int32, n+1)
+	if n == 0 {
+		return
+	}
+	s.secSrcIsl = make([]int32, n)
+	s.secSrcExt = make([]int32, n)
+	s.secMidIsl = make([]int32, n)
+	s.secMidExt = make([]int32, n)
+	s.secDstIsl = make([]int32, n)
+	s.secDstExt = make([]int32, n)
+	s.secSelfSD = make([]float64, n)
+	s.secSelfSM = make([]float64, n)
+	s.secSelfMD = make([]float64, n)
+	s.secR1 = make([]float64, n)
+	s.secR2 = make([]float64, n)
+	s.secPref = make([]float64, n)
+	for i, ci := range s.secChans {
+		src, mid, dst := int(s.chSrc[ci]), int(s.chMid[ci]), int(s.chDst[ci])
+		s.secSrcIsl[i], s.secSrcExt[i] = s.nodeRef(src)
+		s.secDstIsl[i], s.secDstExt[i] = s.nodeRef(dst)
+		s.secMidIsl[i], s.secMidExt[i] = -1, -1
+		if mid >= 0 {
+			s.secMidIsl[i], s.secMidExt[i] = s.nodeRef(mid)
+		}
+		switch s.chKinds[ci] {
+		case chCotunnel:
+			s.secSelfSD[i] = s.cinvSelf(src, dst) * units.E * units.E / 2
+			s.secSelfSM[i] = s.cinvSelf(src, mid) * units.E * units.E / 2
+			s.secSelfMD[i] = s.cinvSelf(mid, dst) * units.E * units.E / 2
+			r1 := s.c.Junction(int(s.chJunc[ci])).R
+			r2 := s.c.Junction(int(s.chJunc2[ci])).R
+			s.secR1[i], s.secR2[i] = r1, r2
+			s.secPref[i] = units.Hbar / (12 * math.Pi * units.E * units.E * units.E * units.E * r1 * r2)
+		case chCooper:
+			s.secSelfSD[i] = s.cinvSelf(src, dst) * (2 * units.E) * (2 * units.E) / 2
+			s.appendCooperEscape(i, src, dst)
+		}
+		s.coopStart[i+1] = int32(len(s.coopJunc))
+	}
+}
+
+// appendCooperEscape collects the junctions whose quasi-particle rates
+// make up the lifetime broadening of Cooper-pair channel i (secChans
+// position), with each endpoint's post-tunneling potential shift
+// precomputed. Insertion order matches the map-dedup enumeration the
+// per-event path used to do, so the escape-rate sum accumulates in the
+// same order.
+func (s *Sim) appendCooperEscape(i, src, dst int) {
+	seen := map[int]bool{}
+	for _, node := range [2]int{src, dst} {
+		if s.c.IslandIndex(node) < 0 {
+			continue
+		}
+		for _, j := range s.c.JunctionsAt(node) {
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			jn := s.c.Junction(j)
+			shift := func(node int) float64 {
+				if k := s.c.IslandIndex(node); k >= 0 {
+					return s.pe.PotentialShift(k, src, dst, 2*units.E)
+				}
+				return 0
+			}
+			s.coopJunc = append(s.coopJunc, int32(j))
+			s.coopShiftA = append(s.coopShiftA, shift(jn.A))
+			s.coopShiftB = append(s.coopShiftB, shift(jn.B))
 		}
 	}
 }
@@ -478,6 +733,11 @@ func (s *Sim) collectBreakpoints() {
 	seen := map[float64]bool{}
 	minSine := math.Inf(1)
 	for _, id := range s.c.Externals() {
+		if p, ok := s.sourceOf(id).(PWLRamp); ok {
+			// Resolved once here so nextCap avoids a per-step type
+			// assertion per external.
+			s.ramps = append(s.ramps, p)
+		}
 		switch src := s.sourceOf(id).(type) {
 		case circuit.PWL:
 			if src.Static() {

@@ -7,7 +7,6 @@ import (
 	"semsim/internal/invariant"
 	"semsim/internal/numeric"
 	"semsim/internal/obs"
-	"semsim/internal/orthodox"
 	"semsim/internal/super"
 	"semsim/internal/units"
 )
@@ -33,82 +32,178 @@ func (s *Sim) nodeV(node int) float64 {
 	return s.c.SourceVoltage(node, s.t)
 }
 
+// pick resolves a precomputed (island index, external index) node
+// reference against the potential and external-voltage arrays; exactly
+// one of the two indices is >= 0.
+func pick(v, extV []float64, isl, ext int32) float64 {
+	if isl >= 0 {
+		return v[isl]
+	}
+	return extV[ext]
+}
+
+// refreshExtV refills the external-voltage cache at the current time.
+// It must run after every change of s.t and before any rate
+// recomputation: the kernels read extV instead of dispatching into
+// Source implementations per evaluation, and the cached values are the
+// exact floats SourceVoltage returns at the same t. Static circuits
+// fill once.
+func (s *Sim) refreshExtV() {
+	if s.extVFresh && s.static {
+		return
+	}
+	for i, id := range s.extIDs {
+		s.extV[i] = s.c.SourceVoltage(id, s.t)
+	}
+	s.extVFresh = true
+}
+
 // --- Rate computation ---
 //
 // Every rate kernel below is pure with respect to the Sim: it reads the
-// frozen potential state (s.v, s.t) and immutable tables, and touches no
-// shared counters — work counts flow through explicit accumulators. That
-// is what lets the worker pool shard these calls across goroutines while
-// staying bit-identical to the serial loop: the same floats are computed
-// either way, and the caller commits them to the selection tree in index
-// order afterwards.
+// frozen potential state (s.v, s.extV) and immutable tables, and writes
+// only junction-owned scratch slots — work counts flow through explicit
+// accumulators. That is what lets the worker pool shard these loops
+// across goroutines while staying bit-identical to the serial path: the
+// same floats are computed either way, and the caller commits them to
+// the selection tree in index order afterwards.
+//
+// The exact-vs-table-vs-superconducting decision is made once at
+// construction (s.kern); each variant below is a monomorphic loop over
+// the flat per-junction constant arrays, with no per-rate dispatch.
 
-// elecRateRaw computes the first-order rate of moving one electron
-// src -> dst through junction j (quasi-particle rate in the
-// superconducting state) and returns both the rate and the dW used.
-func (s *Sim) elecRateRaw(j, src, dst int) (rate, dw float64) {
-	dw = s.pe.DeltaWElectron(src, dst, s.nodeV(src), s.nodeV(dst))
-	if s.superOn {
-		return s.qpTab[j].Rate(dw), dw
+// computeJuncList recomputes both direction rates and dW caches for the
+// listed junctions through the kernel selected at construction.
+func (s *Sim) computeJuncList(js []int) {
+	switch s.kern {
+	case kernTable:
+		s.computeJuncListTable(js)
+	case kernExact:
+		s.computeJuncListExact(js)
+	case kernExactT0:
+		s.computeJuncListT0(js)
+	case kernSuper:
+		s.computeJuncListSuper(js)
 	}
-	if s.normK != nil {
-		return s.ratePref[j] * s.normK.G(dw*s.invKT), dw
+}
+
+// computeJuncListExact evaluates the orthodox rate exactly, with the
+// float operations of orthodox.Rate in the same order (bit-identical to
+// the pre-SoA per-junction path).
+//
+//semsim:hot
+func (s *Sim) computeJuncListExact(js []int) {
+	v, extV := s.v, s.extV
+	kT := s.kT
+	for _, j := range js {
+		vA := pick(v, extV, s.juncAIsl[j], s.juncAExt[j])
+		vB := pick(v, extV, s.juncBIsl[j], s.juncBExt[j])
+		self := s.juncSelfHalfE2[j]
+		denom := s.juncDenom[j]
+		dwFw := -units.E*(vB-vA) + self
+		dwBw := -units.E*(vA-vB) + self
+		s.rateFw[j] = kT * numeric.XOverExpm1(dwFw/kT) / denom
+		s.rateBw[j] = kT * numeric.XOverExpm1(dwBw/kT) / denom
+		s.dwFw[j] = dwFw
+		s.dwBw[j] = dwBw
 	}
-	return orthodox.Rate(dw, s.c.Junction(j).R, s.opt.Temp), dw
 }
 
-// recalcJunction refreshes both direction rates of junction j on the
-// serial path: rates are staged into the selection tree, free-energy
-// changes cached, and the accumulated testing factor reset. The caller
-// must flush (or rebuild) the tree before sampling.
-func (s *Sim) recalcJunction(j int) {
-	s.stats.RateCalcs += 2
-	jn := s.c.Junction(j)
-	fw, dwFw := s.elecRateRaw(j, jn.A, jn.B)
-	bw, dwBw := s.elecRateRaw(j, jn.B, jn.A)
-	s.dwFw[j], s.dwBw[j] = dwFw, dwBw
-	s.b0[j] = 0
-	s.fen.stage(s.chFw[j], fw)
-	s.fen.stage(s.chBw[j], bw)
+// computeJuncListTable evaluates the orthodox rate through the shared
+// flat interpolation table: one uniform-grid panel lookup and a cubic
+// Horner per rate.
+//
+//semsim:hot
+func (s *Sim) computeJuncListTable(js []int) {
+	v, extV := s.v, s.extV
+	flat := s.flatK
+	invKT := s.invKT
+	for _, j := range js {
+		vA := pick(v, extV, s.juncAIsl[j], s.juncAExt[j])
+		vB := pick(v, extV, s.juncBIsl[j], s.juncBExt[j])
+		self := s.juncSelfHalfE2[j]
+		pref := s.ratePref[j]
+		dwFw := -units.E*(vB-vA) + self
+		dwBw := -units.E*(vA-vB) + self
+		gFw, gBw := flat.EvalPair(dwFw*invKT, dwBw*invKT)
+		s.rateFw[j] = pref * gFw
+		s.rateBw[j] = pref * gBw
+		s.dwFw[j] = dwFw
+		s.dwBw[j] = dwBw
+	}
 }
 
-// computeJunction is the worker-side half of recalcJunction: it computes
-// both rates and writes only junction-j-owned state (dW caches and the
-// rate scratch), so disjoint junction shards may run concurrently.
-func (s *Sim) computeJunction(j int) {
-	jn := s.c.Junction(j)
-	fw, dwFw := s.elecRateRaw(j, jn.A, jn.B)
-	bw, dwBw := s.elecRateRaw(j, jn.B, jn.A)
-	s.dwFw[j], s.dwBw[j] = dwFw, dwBw
-	s.rateFw[j], s.rateBw[j] = fw, bw
+// computeJuncListT0 is the T <= 0 limit of the orthodox rate.
+//
+//semsim:hot
+func (s *Sim) computeJuncListT0(js []int) {
+	v, extV := s.v, s.extV
+	for _, j := range js {
+		vA := pick(v, extV, s.juncAIsl[j], s.juncAExt[j])
+		vB := pick(v, extV, s.juncBIsl[j], s.juncBExt[j])
+		self := s.juncSelfHalfE2[j]
+		denom := s.juncDenom[j]
+		dwFw := -units.E*(vB-vA) + self
+		dwBw := -units.E*(vA-vB) + self
+		if dwFw < 0 {
+			s.rateFw[j] = -dwFw / denom
+		} else {
+			s.rateFw[j] = 0
+		}
+		if dwBw < 0 {
+			s.rateBw[j] = -dwBw / denom
+		} else {
+			s.rateBw[j] = 0
+		}
+		s.dwFw[j] = dwFw
+		s.dwBw[j] = dwBw
+	}
 }
 
-// applyJunction is the caller-side half: commit junction j's computed
-// rates to the selection tree and reset its testing factor. Called in
-// index order after the pool returns, it reproduces exactly the staging
-// sequence of the serial path.
+// computeJuncListSuper evaluates quasi-particle rates through the
+// per-junction I-V tables.
+//
+//semsim:hot
+func (s *Sim) computeJuncListSuper(js []int) {
+	v, extV := s.v, s.extV
+	for _, j := range js {
+		vA := pick(v, extV, s.juncAIsl[j], s.juncAExt[j])
+		vB := pick(v, extV, s.juncBIsl[j], s.juncBExt[j])
+		self := s.juncSelfHalfE2[j]
+		dwFw := -units.E*(vB-vA) + self
+		dwBw := -units.E*(vA-vB) + self
+		s.rateFw[j] = s.qpTab[j].Rate(dwFw)
+		s.rateBw[j] = s.qpTab[j].Rate(dwBw)
+		s.dwFw[j] = dwFw
+		s.dwBw[j] = dwBw
+	}
+}
+
+// applyJunction commits junction j's computed rates to the selection
+// tree and resets its testing factor. Called in index order after the
+// compute phase, serial and parallel paths alike, so the staging
+// sequence — and therefore the tree state — is identical either way.
+// Electron channels sit at indices 2j and 2j+1 by construction.
+//
+//semsim:hot
 func (s *Sim) applyJunction(j int) {
 	s.b0[j] = 0
-	s.fen.stage(s.chFw[j], s.rateFw[j])
-	s.fen.stage(s.chBw[j], s.rateBw[j])
+	s.fen.stage(2*j, s.rateFw[j])
+	s.fen.stage(2*j+1, s.rateBw[j])
 }
 
 // refreshAllJunctions recomputes both rates of every junction, sharding
 // across the worker pool when the batch is large enough to amortize the
 // dispatch.
+//
+//semsim:hot
 func (s *Sim) refreshAllJunctions() {
 	nj := s.c.NumJunctions()
 	if s.pool == nil || nj < parallelCutoff {
-		for j := 0; j < nj; j++ {
-			s.recalcJunction(j)
-		}
-		return
+		s.computeJuncList(s.allJunc)
+	} else {
+		s.pool.run(nj, s.fnJuncShard)
 	}
-	s.pool.run(nj, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			s.computeJunction(j)
-		}
-	})
 	s.stats.RateCalcs += uint64(2 * nj)
 	for j := 0; j < nj; j++ {
 		s.applyJunction(j)
@@ -118,135 +213,141 @@ func (s *Sim) refreshAllJunctions() {
 // recalcFlagged batch-recomputes the junctions flagged by the adaptive
 // test, in parallel when the batch clears the cutoff (a refresh spill
 // can flag thousands of junctions on large circuits).
+//
+//semsim:hot
 func (s *Sim) recalcFlagged() {
 	m := len(s.flagged)
 	if s.pool == nil || m < parallelCutoff {
-		for _, j := range s.flagged {
-			s.recalcJunction(j)
-		}
-		return
+		s.computeJuncList(s.flagged)
+	} else {
+		s.pool.run(m, s.fnFlaggedShard)
 	}
-	s.pool.run(m, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s.computeJunction(s.flagged[i])
-		}
-	})
 	s.stats.RateCalcs += uint64(2 * m)
 	for _, j := range s.flagged {
 		s.applyJunction(j)
 	}
 }
 
-// secondaryRate computes the rate of one cotunneling or Cooper-pair
-// channel, accumulating its rate-evaluation count into calcs.
-func (s *Sim) secondaryRate(ci int, calcs *uint64) float64 {
-	ch := &s.chans[ci]
-	switch ch.kind {
-	case chCotunnel:
-		return s.cotunnelRate(ch, calcs)
-	case chCooper:
-		return s.cooperRate(ch, calcs)
+// computeSecRange recomputes secondary-channel rates for secChans
+// positions [lo, hi). A circuit has cotunneling channels or Cooper-pair
+// channels, never both (cotunneling is rejected for superconducting
+// circuits at construction), so one branch covers the whole range.
+func (s *Sim) computeSecRange(lo, hi int, calcs *uint64) {
+	if s.superOn {
+		s.computeCooperRange(lo, hi, calcs)
+		return
 	}
-	return 0
+	s.computeCotunnelRange(lo, hi, calcs)
+}
+
+// computeCotunnelRange evaluates second-order cotunneling rates from
+// the precomputed per-channel constants; the tabulated branch inlines
+// cotunnel.Kernel.Rate with the same float order.
+//
+//semsim:hot
+func (s *Sim) computeCotunnelRange(lo, hi int, calcs *uint64) {
+	v, extV := s.v, s.extV
+	if flat := s.cotFlat; flat != nil {
+		kT := s.kT
+		for i := lo; i < hi; i++ {
+			*calcs++
+			vSrc := pick(v, extV, s.secSrcIsl[i], s.secSrcExt[i])
+			vMid := pick(v, extV, s.secMidIsl[i], s.secMidExt[i])
+			vDst := pick(v, extV, s.secDstIsl[i], s.secDstExt[i])
+			e1 := -units.E*(vMid-vSrc) + s.secSelfSM[i]
+			e2 := -units.E*(vDst-vMid) + s.secSelfMD[i]
+			if e1 <= 0 || e2 <= 0 {
+				s.secRate[i] = 0 // coexistence rule, as in cotunnel.Rate
+				continue
+			}
+			dw := -units.E*(vDst-vSrc) + s.secSelfSD[i]
+			den := 1/e1 + 1/e2
+			pref := s.secPref[i] * (den * den)
+			s.secRate[i] = pref * kT * kT * kT * flat.Eval(dw/kT)
+		}
+		return
+	}
+	t := s.opt.Temp
+	for i := lo; i < hi; i++ {
+		*calcs++
+		vSrc := pick(v, extV, s.secSrcIsl[i], s.secSrcExt[i])
+		vMid := pick(v, extV, s.secMidIsl[i], s.secMidExt[i])
+		vDst := pick(v, extV, s.secDstIsl[i], s.secDstExt[i])
+		dw := -units.E*(vDst-vSrc) + s.secSelfSD[i]
+		e1 := -units.E*(vMid-vSrc) + s.secSelfSM[i]
+		e2 := -units.E*(vDst-vMid) + s.secSelfMD[i]
+		s.secRate[i] = cotunnel.Rate(dw, e1, e2, s.secR1[i], s.secR2[i], t)
+	}
+}
+
+// computeCooperRange evaluates incoherent resonant Cooper-pair rates.
+// The lifetime broadening gamma is the total quasi-particle escape rate
+// out of the post-tunneling state, summed over the precomputed escape
+// list (the events that complete a JQP/DJQP cycle), floored at
+// CPWidthFloor * gap / hbar.
+//
+//semsim:hot
+func (s *Sim) computeCooperRange(lo, hi int, calcs *uint64) {
+	v, extV := s.v, s.extV
+	floorGamma := s.opt.CPWidthFloor * s.gap / units.Hbar
+	for i := lo; i < hi; i++ {
+		*calcs++
+		ci := s.secChans[i]
+		junc := int(s.chJunc[ci])
+		ej := s.ej[junc]
+		if ej <= 0 {
+			s.secRate[i] = 0
+			continue
+		}
+		vSrc := pick(v, extV, s.secSrcIsl[i], s.secSrcExt[i])
+		vDst := pick(v, extV, s.secDstIsl[i], s.secDstExt[i])
+		dw2 := -(2*units.E)*(vDst-vSrc) + s.secSelfSD[i]
+		gamma := 0.0
+		for k := s.coopStart[i]; k < s.coopStart[i+1]; k++ {
+			jj := int(s.coopJunc[k])
+			va := pick(v, extV, s.juncAIsl[jj], s.juncAExt[jj]) + s.coopShiftA[k]
+			vb := pick(v, extV, s.juncBIsl[jj], s.juncBExt[jj]) + s.coopShiftB[k]
+			self := s.juncSelfHalfE2[jj]
+			gamma += s.qpTab[jj].Rate(-units.E*(vb-va) + self)
+			gamma += s.qpTab[jj].Rate(-units.E*(va-vb) + self)
+			*calcs += 2
+		}
+		if gamma < floorGamma {
+			gamma = floorGamma
+		}
+		s.secRate[i] = super.CooperPairRate(dw2, ej, gamma)
+	}
 }
 
 // recalcSecondary refreshes every cotunneling and Cooper-pair channel
 // (the non-adaptive solver of Fig. 3's flow), sharded across the pool
-// when the channel count clears the cutoff. Per-worker calc counters are
-// summed afterwards; each channel is evaluated exactly once, so the
-// total is independent of the sharding.
+// when the channel count clears the cutoff. Per-worker calc counters
+// are summed afterwards; each channel is evaluated exactly once, so the
+// total is independent of the sharding. Rates are staged in secChans
+// order regardless of how they were computed.
+//
+//semsim:hot
 func (s *Sim) recalcSecondary() {
 	n := len(s.secChans)
-	if s.pool == nil || n < parallelCutoff {
-		var calcs uint64
-		for _, ci := range s.secChans {
-			s.fen.stage(ci, s.secondaryRate(ci, &calcs))
-		}
-		s.stats.RateCalcs += calcs
+	if n == 0 {
 		return
 	}
-	for i := range s.workerCalcs {
-		s.workerCalcs[i] = 0
-	}
-	s.pool.run(n, func(w, lo, hi int) {
+	if s.pool == nil || n < parallelCutoff {
 		var calcs uint64
-		for i := lo; i < hi; i++ {
-			s.secRate[i] = s.secondaryRate(s.secChans[i], &calcs)
+		s.computeSecRange(0, n, &calcs)
+		s.stats.RateCalcs += calcs
+	} else {
+		for i := range s.workerCalcs {
+			s.workerCalcs[i] = 0
 		}
-		s.workerCalcs[w] = calcs
-	})
-	for _, c := range s.workerCalcs {
-		s.stats.RateCalcs += c
+		s.pool.run(n, s.fnSecShard)
+		for _, c := range s.workerCalcs {
+			s.stats.RateCalcs += c
+		}
 	}
 	for i, ci := range s.secChans {
 		s.fen.stage(ci, s.secRate[i])
 	}
-}
-
-func (s *Sim) cotunnelRate(ch *channel, calcs *uint64) float64 {
-	*calcs++
-	vSrc, vMid, vDst := s.nodeV(ch.src), s.nodeV(ch.mid), s.nodeV(ch.dst)
-	dw := s.pe.DeltaWElectron(ch.src, ch.dst, vSrc, vDst)
-	e1 := s.pe.DeltaWElectron(ch.src, ch.mid, vSrc, vMid)
-	e2 := s.pe.DeltaWElectron(ch.mid, ch.dst, vMid, vDst)
-	r1, r2 := s.c.Junction(ch.junc).R, s.c.Junction(ch.junc2).R
-	if s.cotK != nil {
-		return s.cotK.Rate(dw, e1, e2, r1, r2, s.opt.Temp)
-	}
-	return cotunnel.Rate(dw, e1, e2, r1, r2, s.opt.Temp)
-}
-
-// cooperRate computes the incoherent resonant Cooper-pair rate for a
-// channel. The lifetime broadening gamma is the total quasi-particle
-// escape rate out of the post-tunneling state (the events that complete
-// a JQP/DJQP cycle), floored at CPWidthFloor * gap / hbar.
-func (s *Sim) cooperRate(ch *channel, calcs *uint64) float64 {
-	*calcs++
-	ej := s.ej[ch.junc]
-	if ej <= 0 {
-		return 0
-	}
-	dw2 := s.pe.DeltaW(ch.src, ch.dst, 2*units.E, s.nodeV(ch.src), s.nodeV(ch.dst))
-	gamma := s.qpEscapeAfter(ch, calcs)
-	if floor := s.opt.CPWidthFloor * s.gap / units.Hbar; gamma < floor {
-		gamma = floor
-	}
-	return super.CooperPairRate(dw2, ej, gamma)
-}
-
-// qpEscapeAfter sums the quasi-particle rates available after the
-// Cooper pair of channel ch has tunneled, over every junction touching
-// the affected islands.
-func (s *Sim) qpEscapeAfter(ch *channel, calcs *uint64) float64 {
-	shift := func(node int) float64 {
-		if k := s.c.IslandIndex(node); k >= 0 {
-			return s.pe.PotentialShift(k, ch.src, ch.dst, 2*units.E)
-		}
-		return 0
-	}
-	post := func(node int) float64 { return s.nodeV(node) + shift(node) }
-	var js []int
-	seen := map[int]bool{}
-	for _, node := range [2]int{ch.src, ch.dst} {
-		if s.c.IslandIndex(node) < 0 {
-			continue
-		}
-		for _, j := range s.c.JunctionsAt(node) {
-			if !seen[j] {
-				seen[j] = true
-				js = append(js, j)
-			}
-		}
-	}
-	total := 0.0
-	for _, j := range js {
-		jn := s.c.Junction(j)
-		va, vb := post(jn.A), post(jn.B)
-		total += s.qpTab[j].Rate(s.pe.DeltaWElectron(jn.A, jn.B, va, vb))
-		total += s.qpTab[j].Rate(s.pe.DeltaWElectron(jn.B, jn.A, vb, va))
-		*calcs += 2
-	}
-	return total
 }
 
 // --- Refresh paths ---
@@ -268,14 +369,10 @@ func (s *Sim) refreshPotentials() {
 		return
 	}
 	if s.shardBounds != nil {
-		s.pool.runRanges(s.shardBounds, func(_, lo, hi int) {
-			s.pe.SolveRange(s.v, s.qScratch, s.vext, lo, hi)
-		})
+		s.pool.runRanges(s.shardBounds, s.fnSolveShard)
 		return
 	}
-	s.pool.run(ni, func(_, lo, hi int) {
-		s.pe.SolveRange(s.v, s.qScratch, s.vext, lo, hi)
-	})
+	s.pool.run(ni, s.fnSolveShard)
 }
 
 // fullRefresh recomputes everything exactly: external voltages, island
@@ -295,6 +392,7 @@ func (s *Sim) fullRefresh() {
 	}
 	s.stats.FullRefreshes++
 	s.vext = s.c.ExternalVoltages(s.vext, s.t)
+	s.refreshExtV()
 	s.refreshPotentials()
 	if s.pe.Truncated() {
 		// The refresh recomputed potentials from the truncated rows, so
@@ -328,19 +426,48 @@ func (s *Sim) fullRefresh() {
 
 // nonAdaptiveUpdate recomputes all rates after an event (potentials are
 // refreshed lazily but every junction touches its nodes, so everything
-// becomes fresh). All updates are staged and committed in one flush,
-// which picks a bulk rebuild over per-channel tree walks once the batch
-// is large.
+// becomes fresh). Updates are staged only; the commit is deferred to
+// the next selection (top of Step), where one flush covers the whole
+// batch.
+//
+//semsim:hot
 func (s *Sim) nonAdaptiveUpdate() {
 	preCalcs := s.stats.RateCalcs
 	s.refreshAllJunctions()
 	s.recalcSecondary()
-	batch, rebuilt := s.fen.flush()
-	s.obs.FenwickFlush(batch, rebuilt, s.t)
 	s.obs.RateCalcs(s.stats.RateCalcs - preCalcs)
 }
 
-// adaptiveUpdate implements Algorithm 1 after the event on channel ch:
+// bumpDPEpoch opens a new per-event memo epoch for dpAt.
+func (s *Sim) bumpDPEpoch() {
+	s.dpEpoch++
+	if s.dpEpoch == 0 { // uint32 wrap: old stamps must not alias
+		for i := range s.dpStamp {
+			s.dpStamp[i] = 0
+		}
+		s.dpEpoch = 1
+	}
+}
+
+// dpAt returns the potential shift the current event imposes on a node
+// (zero for externals), memoized per island for the duration of one
+// adaptive update: each island's PotentialShift row walk runs at most
+// once per event no matter how many tested junctions share the island.
+//
+//semsim:hot
+func (s *Sim) dpAt(node, src, dst int, q float64) float64 {
+	k := s.c.IslandIndex(node)
+	if k < 0 {
+		return 0
+	}
+	if s.dpStamp[k] != s.dpEpoch {
+		s.dpStamp[k] = s.dpEpoch
+		s.dpVal[k] = s.pe.PotentialShift(k, src, dst, q)
+	}
+	return s.dpVal[k]
+}
+
+// adaptiveUpdate implements Algorithm 1 after the event on channel ci:
 // test the event junction(s), flag those whose potential change exceeds
 // the threshold, and spill to neighbours of flagged junctions. The
 // flag test reads only the tested junction's own accumulated factor and
@@ -348,13 +475,11 @@ func (s *Sim) nonAdaptiveUpdate() {
 // junctions are collected first and recomputed as one batch (in
 // parallel when large), which changes nothing about which junctions
 // flag or what their new rates are.
-func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue []int) []int {
-	deltaP := func(node int) float64 {
-		if k := s.c.IslandIndex(node); k >= 0 {
-			return s.pe.PotentialShift(k, ch.src, ch.dst, ch.q)
-		}
-		return 0
-	}
+func (s *Sim) adaptiveUpdate(ci int, visited []uint32, stamp uint32, queue []int) []int {
+	src, dst := int(s.chSrc[ci]), int(s.chDst[ci])
+	q := chQ[s.chKinds[ci]]
+	junc := int(s.chJunc[ci])
+	s.bumpDPEpoch()
 	queue = queue[:0]
 	push := func(j int) {
 		if visited[j] != stamp {
@@ -362,9 +487,9 @@ func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue 
 			queue = append(queue, j)
 		}
 	}
-	push(ch.junc)
-	if ch.junc2 >= 0 {
-		push(ch.junc2)
+	push(junc)
+	if j2 := int(s.chJunc2[ci]); j2 >= 0 {
+		push(j2)
 	}
 	preCalcs := s.stats.RateCalcs
 	tracing := s.obs.Tracing()
@@ -376,8 +501,7 @@ func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue 
 			levelEnd = len(queue)
 		}
 		j := queue[head]
-		jn := s.c.Junction(j)
-		b := s.b0[j] + deltaP(jn.A) - deltaP(jn.B)
+		b := s.b0[j] + s.dpAt(int(s.juncA[j]), src, dst, q) - s.dpAt(int(s.juncB[j]), src, dst, q)
 		s.stats.Tested++
 		thr := math.Min(math.Abs(s.dwFw[j]), math.Abs(s.dwBw[j]))
 		flag := units.E*math.Abs(b) >= s.opt.Alpha*thr
@@ -396,10 +520,8 @@ func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue 
 	}
 	s.recalcFlagged()
 	s.recalcSecondary()
-	batch, rebuilt := s.fen.flush()
-	s.obs.Adaptive(ch.junc, len(queue), len(s.flagged), s.t)
+	s.obs.Adaptive(junc, len(queue), len(s.flagged), s.t)
 	s.obs.Recomputed(s.flagged)
-	s.obs.FenwickFlush(batch, rebuilt, s.t)
 	s.obs.RateCalcs(s.stats.RateCalcs - preCalcs)
 	return queue
 }
@@ -409,7 +531,7 @@ func (s *Sim) adaptiveUpdate(ch *channel, visited []uint32, stamp uint32, queue 
 // junction rates are either all recomputed (non-adaptive) or tested
 // from the junctions in contact with the changed inputs (adaptive).
 func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []int {
-	vextNew := s.c.ExternalVoltages(nil, s.t)
+	vextNew := s.c.ExternalVoltages(s.vextScratch, s.t)
 	changed := false
 	for i := range vextNew {
 		if !numeric.SameBits(vextNew[i], s.vext[i]) {
@@ -423,7 +545,7 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 	// Apply the external shift to every island potential (exact up to
 	// the engine's mext truncation, whose error is accounted below).
 	ni := s.c.NumIslands()
-	dv := make([]float64, ni)
+	dv := s.dvIsl
 	s.pe.ExternalDelta(dv, s.vext, vextNew)
 	for k := 0; k < ni; k++ {
 		s.v[k] += dv[k]
@@ -438,13 +560,16 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 		s.stats.CinvErrorBound += s.pe.InputErrorBound(dvmax)
 		s.obs.CinvBound(s.stats.CinvErrorBound)
 	}
-	dext := make(map[int]float64)
-	for i, id := range s.c.Externals() {
-		if !numeric.SameBits(vextNew[i], s.vext[i]) {
-			dext[id] = vextNew[i] - s.vext[i]
+	for i := range vextNew {
+		if numeric.SameBits(vextNew[i], s.vext[i]) {
+			s.dvExt[i] = 0
+		} else {
+			s.dvExt[i] = vextNew[i] - s.vext[i]
 		}
 	}
-	s.vext = vextNew
+	// vextNew aliases vextScratch; swap it in as the current snapshot
+	// and recycle the old array as the next change's scratch.
+	s.vext, s.vextScratch = vextNew, s.vext
 
 	if !s.opt.Adaptive {
 		s.obs.InputChange(s.c.NumJunctions(), s.t)
@@ -454,21 +579,14 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 	// Inputs couple to junctions through arbitrary capacitor networks
 	// (a logic gate's input is a pure capacitor), so there is no local
 	// junction set to spill from. Instead the exact potential shift of
-	// every node is already known (dv, dext): fold it into each
+	// every node is already known (dvIsl, dvExt): fold it into each
 	// junction's accumulated testing factor — O(J) arithmetic with no
 	// rate evaluations — and recalculate only those over threshold.
-	deltaP := func(node int) float64 {
-		if k := s.c.IslandIndex(node); k >= 0 {
-			return dv[k]
-		}
-		return dext[node]
-	}
 	preCalcs := s.stats.RateCalcs
 	tracing := s.obs.Tracing()
 	s.flagged = s.flagged[:0]
 	for j := 0; j < s.c.NumJunctions(); j++ {
-		jn := s.c.Junction(j)
-		b := s.b0[j] + deltaP(jn.A) - deltaP(jn.B)
+		b := s.b0[j] + s.inputDeltaP(int(s.juncA[j])) - s.inputDeltaP(int(s.juncB[j]))
 		s.stats.Tested++
 		thr := math.Min(math.Abs(s.dwFw[j]), math.Abs(s.dwBw[j]))
 		flag := units.E*math.Abs(b) >= s.opt.Alpha*thr
@@ -484,12 +602,20 @@ func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []i
 	}
 	s.recalcFlagged()
 	s.recalcSecondary()
-	batch, rebuilt := s.fen.flush()
 	s.obs.InputChange(len(s.flagged), s.t)
 	s.obs.Recomputed(s.flagged)
-	s.obs.FenwickFlush(batch, rebuilt, s.t)
 	s.obs.RateCalcs(s.stats.RateCalcs - preCalcs)
 	return queue
+}
+
+// inputDeltaP reads the potential shift an input change imposed on a
+// node from the per-island (dvIsl) and per-external (dvExt) delta
+// arrays handleInputChange just filled.
+func (s *Sim) inputDeltaP(node int) float64 {
+	if k := s.c.IslandIndex(node); k >= 0 {
+		return s.dvIsl[k]
+	}
+	return s.dvExt[s.extIdxOf[node]]
 }
 
 // --- Event application ---
@@ -501,44 +627,55 @@ var obsKinds = [...]obs.Kind{
 	chCooper:   obs.KindCooper,
 }
 
-// apply moves the channel's carriers, updates every island potential
+// apply moves channel ci's carriers, updates every island potential
 // exactly, and accumulates measured charge, event counts and dissipated
 // energy per junction. It returns the free energy change dW of the
 // event (for the observability hook in Step).
-func (s *Sim) apply(ch *channel) float64 {
+//
+//semsim:hot
+func (s *Sim) apply(ci int) float64 {
+	kind := s.chKinds[ci]
+	src, dst := int(s.chSrc[ci]), int(s.chDst[ci])
+	junc := int(s.chJunc[ci])
+	q := chQ[kind]
 	// Free energy released by this event (evaluated with the exact
 	// pre-event potentials; thermal fluctuations can make it negative).
-	dw := s.pe.DeltaW(ch.src, ch.dst, ch.q, s.nodeV(ch.src), s.nodeV(ch.dst))
+	dw := s.pe.DeltaW(src, dst, q, s.nodeV(src), s.nodeV(dst))
 	s.stats.Dissipated += -dw
-	s.c.ApplyTransfer(s.n, ch.src, ch.dst, ch.carriers)
-	touched := s.pe.Shift(s.v, ch.src, ch.dst, ch.q)
+	s.c.ApplyTransfer(s.n, src, dst, chCarriers[kind])
+	touched := s.pe.Shift(s.v, src, dst, q)
 	s.obs.EventTouched(touched)
 	// Truncated rows shift each potential with a bounded per-event
 	// error; exact engines contribute exactly zero here.
-	s.stats.CinvErrorBound += s.pe.EventErrorBound(ch.q)
-	// Conventional current A->B is positive charge A->B; electrons
-	// moving src->dst carry -q, so charge +q flows dst->src.
-	sign := func(jid int, src int) float64 {
-		if s.c.Junction(jid).A == src {
-			s.evFw[jid]++
-			return -1 // electrons A->B: conventional charge B->A
-		}
-		s.evBw[jid]++
-		return 1
-	}
-	switch ch.kind {
+	s.stats.CinvErrorBound += s.pe.EventErrorBound(q)
+	switch kind {
 	case chCotunnel:
 		s.stats.CotunnelEvents++
-		s.charge[ch.junc] += sign(ch.junc, ch.src) * ch.q
-		s.charge[ch.junc2] += sign(ch.junc2, ch.mid) * ch.q
+		s.charge[junc] += s.chargeSign(junc, src) * q
+		junc2 := int(s.chJunc2[ci])
+		s.charge[junc2] += s.chargeSign(junc2, int(s.chMid[ci])) * q
 	case chCooper:
 		s.stats.CooperEvents++
-		s.evCoop[ch.junc]++
-		s.charge[ch.junc] += sign(ch.junc, ch.src) * ch.q
+		s.evCoop[junc]++
+		s.charge[junc] += s.chargeSign(junc, src) * q
 	default:
-		s.charge[ch.junc] += sign(ch.junc, ch.src) * ch.q
+		s.charge[junc] += s.chargeSign(junc, src) * q
 	}
 	return dw
+}
+
+// chargeSign counts the event on junction jid and returns the sign of
+// the conventional charge it moved A->B: electrons moving src->dst
+// carry -q, so charge +q flows dst->src.
+//
+//semsim:hot
+func (s *Sim) chargeSign(jid, src int) float64 {
+	if int(s.juncA[jid]) == src {
+		s.evFw[jid]++
+		return -1 // electrons A->B: conventional charge B->A
+	}
+	s.evBw[jid]++
+	return 1
 }
 
 // --- Main loop ---
@@ -546,6 +683,8 @@ func (s *Sim) apply(ch *channel) float64 {
 // nextCap returns the earliest time at which the solver must stop and
 // re-evaluate inputs (PWL breakpoint, ramp subdivision or sine cap),
 // or +Inf for static circuits.
+//
+//semsim:hot
 func (s *Sim) nextCap() float64 {
 	cap := math.Inf(1)
 	if s.horizon > 0 {
@@ -565,13 +704,10 @@ func (s *Sim) nextCap() float64 {
 	if s.maxStep > 0 && s.t+s.maxStep < cap {
 		cap = s.t + s.maxStep
 	}
-	// Inside a moving PWL ramp, subdivide the segment.
-	for _, id := range s.c.Externals() {
-		p, ok := s.sourceOf(id).(PWLRamp)
-		if !ok {
-			continue
-		}
-		if step := p.RampStep(s.t); step > 0 && s.t+step < cap {
+	// Inside a moving PWL ramp, subdivide the segment. The ramp sources
+	// were resolved once at construction (collectBreakpoints).
+	for _, p := range s.ramps {
+		if step := p.RampStep(s.t); step > 0 && s.t+step < cap { //hotalloc:ok interface call once per step per ramp source, not per rate
 			cap = s.t + step
 		}
 	}
@@ -588,8 +724,21 @@ type PWLRamp interface {
 // Step advances the simulation by one iteration. It returns true if a
 // tunnel event was applied, false if the step was capped by an input
 // change. ErrBlockaded is returned when nothing can ever happen again.
+//
+// Selection-tree maintenance is amortized: rate updates staged by the
+// previous iteration are committed here, in one flush, just before the
+// tree is sampled. The tree state at sampling time is identical to
+// flushing eagerly after every update, so trajectories are unchanged.
+//
+//semsim:hot
 func (s *Sim) Step() (bool, error) {
 	s.stats.Steps++
+	if batch, rebuilt := s.fen.flush(); batch != 0 {
+		s.obs.FenwickFlush(batch, rebuilt, s.t)
+	}
+	if invariant.Enabled {
+		s.debugCheckFenwick()
+	}
 	total := s.fen.total()
 	cap := s.nextCap()
 	if total <= 0 || math.IsInf(1/total, 1) {
@@ -597,6 +746,7 @@ func (s *Sim) Step() (bool, error) {
 			return false, ErrBlockaded
 		}
 		s.t = cap
+		s.refreshExtV()
 		s.scratch = s.handleInputChange(s.visited, s.bumpStamp(), s.scratch)
 		s.recordProbes()
 		return false, nil
@@ -607,29 +757,30 @@ func (s *Sim) Step() (bool, error) {
 		// (memorylessness), so capping at breakpoints, ramp subdivisions
 		// and the run horizon does not bias the dynamics.
 		s.t = cap
+		s.refreshExtV()
 		s.scratch = s.handleInputChange(s.visited, s.bumpStamp(), s.scratch)
 		s.recordProbes()
 		return false, nil
 	}
 	s.t += dt
+	s.refreshExtV()
 	idx := s.fen.find(s.rnd.Float64() * total)
-	ch := &s.chans[idx]
 	var preSum int
 	if invariant.Enabled {
 		preSum = s.islandElectronSum()
 	}
-	dw := s.apply(ch)
+	dw := s.apply(idx)
 	s.stats.Events++
-	s.obs.Event(obsKinds[ch.kind], ch.junc, s.t, dw)
+	s.obs.Event(obsKinds[s.chKinds[idx]], int(s.chJunc[idx]), s.t, dw)
 	if s.opt.RefreshEvery > 0 && s.stats.Events%uint64(s.opt.RefreshEvery) == 0 {
 		s.fullRefresh()
 	} else if s.opt.Adaptive {
-		s.scratch = s.adaptiveUpdate(ch, s.visited, s.bumpStamp(), s.scratch)
+		s.scratch = s.adaptiveUpdate(idx, s.visited, s.bumpStamp(), s.scratch)
 	} else {
 		s.nonAdaptiveUpdate()
 	}
 	if invariant.Enabled {
-		s.debugCheckEvent(ch, preSum)
+		s.debugCheckEvent(idx, preSum)
 		s.debugCheckFenwick()
 	}
 	s.recordProbes()
