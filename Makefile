@@ -104,3 +104,5 @@ FORCE:
 fuzz:
 	go test -fuzz FuzzNetlistParse -fuzztime 30s ./internal/netlist/
 	go test -fuzz FuzzFenwick -fuzztime 30s ./internal/solver/
+	go test -fuzz FuzzCheckpointDecode -fuzztime 30s ./internal/solver/
+	go test -fuzz FuzzRunFileDecode -fuzztime 30s ./internal/jobs/

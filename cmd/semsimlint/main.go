@@ -1,18 +1,24 @@
 // Command semsimlint is the project's static-analysis multichecker: it
 // runs the internal/lint passes (detrand, unitsafety, floateq,
-// sharddiscipline, physerr, obsdiscipline) over the tree and exits
-// non-zero on any
-// finding. See DESIGN.md §7 for the analyzer catalogue.
+// sharddiscipline, physerr, obsdiscipline, doccomment, hotalloc,
+// statecover, resumepurity) over the tree and exits non-zero on any
+// finding. Passes exchange cross-package facts (serialization
+// completeness, resume purity, global mutability) through a module-wide
+// fact store threaded in dependency order. See DESIGN.md §7 and §12 for
+// the analyzer catalogue and the facts engine.
 //
 // It runs in two modes:
 //
-//	semsimlint [-tags list] [-only a,b] [packages]   # standalone
-//	go vet -vettool=$(which semsimlint) ./...        # vet tool
+//	semsimlint [-tags list] [-only a,b] [-json] [packages]   # standalone
+//	go vet -vettool=$(which semsimlint) ./...                # vet tool
 //
-// Standalone mode loads and type-checks packages itself (offline, no
-// tooling beyond the go command). Vet-tool mode implements the protocol
-// go vet speaks to analysis tools (-V=full / -flags / vet.cfg), reusing
-// vet's build graph, export data and caching.
+// Standalone mode loads and type-checks the module itself (offline, no
+// tooling beyond the go command) and analyzes packages in dependency
+// order over one shared fact store; -json switches the output to a
+// machine-readable findings array for CI annotation. Vet-tool mode
+// implements the protocol go vet speaks to analysis tools (-V=full /
+// -flags / vet.cfg), reusing vet's build graph, export data and
+// caching; facts travel between packages as gob-encoded .vetx files.
 package main
 
 import (
@@ -31,7 +37,9 @@ func main() {
 		switch {
 		case os.Args[1] == "-V=full":
 			// The version line doubles as vet's cache key for this tool.
-			fmt.Printf("semsimlint version 1 buildID=%s\n", buildID())
+			// Bump the counter on driver-behavior changes the analyzer
+			// doc-hash cannot see (fact protocol, package scoping).
+			fmt.Printf("semsimlint version 2 buildID=%s\n", buildID())
 			return
 		case os.Args[1] == "-flags":
 			fmt.Println("[]")
@@ -44,6 +52,7 @@ func main() {
 	tags := flag.String("tags", "", "build tags for package loading (comma-separated)")
 	only := flag.String("only", "", "comma-separated analyzer subset to run")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (machine-readable; for CI annotation)")
 	flag.Parse()
 
 	if *list {
@@ -61,7 +70,11 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := lint.Run(".", *tags, analyzers, patterns, os.Stdout)
+	run := lint.Run
+	if *jsonOut {
+		run = lint.RunJSON
+	}
+	n, err := run(".", *tags, analyzers, patterns, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

@@ -22,11 +22,11 @@ type vetConfig struct {
 	Compiler                  string
 	Dir                       string
 	ImportPath                string
+	ModulePath                string
 	GoFiles                   []string
 	NonGoFiles                []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
-	Standard                  map[string]bool
 	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
@@ -47,14 +47,49 @@ func vetToolMain(cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "semsimlint: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// Facts are not used, but vet requires the output file to exist.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+
+	// go vet also dispatches the tool over standard-library dependencies
+	// (to collect their facts), but the project invariants are scoped to
+	// this module: the standalone driver never analyzes the stdlib, and
+	// analyzing it here would poison resume paths with fmt/os internals
+	// (sync.Pool, finalizers) that cannot feed simulator state. Stdlib
+	// packages are recognizable by their empty ModulePath; skip them,
+	// leaving an empty .vetx — absence of facts means pure.
+	if cfg.ModulePath == "" {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "semsimlint: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	// Rehydrate the facts the dependencies exported: go vet has already
+	// run this tool over every dependency (VetxOnly mode) and hands us
+	// their .vetx outputs keyed by import path.
+	store := lint.NewFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		blob, err := os.ReadFile(vetx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semsimlint: reading facts of %s: %v\n", path, err)
+			return 1
+		}
+		if err := store.DecodeFacts(path, blob); err != nil {
 			fmt.Fprintf(os.Stderr, "semsimlint: %v\n", err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
+
+	// go vet requires the .vetx output to exist even when analysis is
+	// skipped, so the typecheck-failure bailouts write an empty one.
+	emptyVetx := func() int {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "semsimlint: %v\n", err)
+				return 1
+			}
+		}
 		return 0
 	}
 
@@ -64,7 +99,7 @@ func vetToolMain(cfgFile string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return emptyVetx()
 			}
 			fmt.Fprintf(os.Stderr, "semsimlint: %v\n", err)
 			return 1
@@ -98,16 +133,33 @@ func vetToolMain(cfgFile string) int {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return emptyVetx()
 		}
 		fmt.Fprintf(os.Stderr, "semsimlint: type-checking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
-	diags, err := lint.RunPackage(lint.All(), fset, files, tpkg, info, cfg.ImportPath)
+	// Even in VetxOnly mode (dependencies outside the vet patterns) the
+	// analyzers must run: their job there is to export this package's
+	// facts for downstream consumers; the diagnostics are suppressed.
+	diags, err := lint.RunPackage(lint.All(), fset, files, tpkg, info, cfg.ImportPath, store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "semsimlint: %v\n", err)
 		return 1
+	}
+	if cfg.VetxOutput != "" {
+		blob, err := store.EncodeFacts(cfg.ImportPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semsimlint: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "semsimlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)

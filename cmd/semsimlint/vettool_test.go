@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolCrossPackageFacts proves the .vetx fact pipeline end to
+// end under the real `go vet -vettool` protocol: a dependency package
+// exports a PurityFact (wall-clock read), and the root package's
+// restore path is flagged at the cross-package call site — which can
+// only happen if vet ran this tool over the dependency in VetxOnly
+// mode, the facts survived gob serialization, and the root's run
+// rehydrated them from PackageVetx. It also re-proves the negative
+// gate outside the fixture harness: an uncovered snapshot field is a
+// finding.
+func TestVetToolCrossPackageFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and shells out to go vet")
+	}
+	tool := filepath.Join(t.TempDir(), "semsimlint")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building semsimlint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module vetsmoke\n\ngo 1.22\n")
+	write("clocks/clocks.go", `// Package clocks exports an impure helper.
+package clocks
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	write("root/root.go", `// Package root registers a snapshot pair that is impure and leaky.
+package root
+
+import "vetsmoke/clocks"
+
+// State is a snapshot root with an uncovered field.
+//
+//statecover:root save=Save load=Load
+type State struct {
+	T      float64
+	Unsung int
+}
+
+// Save serializes T.
+func (s *State) Save() float64 { return s.T }
+
+// Load restores T, impurely.
+func (s *State) Load(v float64) {
+	s.T = v + float64(clocks.Stamp())
+}
+`)
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a module with known findings; output:\n%s", out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "call to clocks.Stamp, which is not resume-pure") {
+		t.Errorf("missing cross-package resumepurity finding (facts did not flow through .vetx); output:\n%s", text)
+	}
+	if !strings.Contains(text, "field Unsung of snapshot root State is neither serialized by Save nor rebuilt by Load") {
+		t.Errorf("missing statecover finding; output:\n%s", text)
+	}
+}

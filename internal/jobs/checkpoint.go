@@ -23,6 +23,8 @@ const FileVersion = 1
 // deck key and the point/run coordinates) that a resumed batch run can
 // prove the file belongs to the work it is about to redo. The solver
 // payload carries its own version and options hash on top.
+//
+//statecover:root save=json
 type runFile struct {
 	Format     string             `json:"format"`
 	Version    int                `json:"version"`
@@ -60,6 +62,8 @@ func (f *runFile) checksum() (uint32, error) {
 // temporary file in the same directory, fsync, then rename over the
 // final path. A crash at any instant leaves either the previous
 // complete checkpoint or the new complete checkpoint, never a torn one.
+//
+//semsim:resumepure
 func saveRunFile(path string, f *runFile) error {
 	f.Format = FileFormat
 	f.Version = FileVersion
@@ -104,6 +108,8 @@ func saveRunFile(path string, f *runFile) error {
 // version, checksum and payload presence. Corruption — truncation,
 // flipped bits, foreign JSON — is reported as an error, never resumed
 // from.
+//
+//semsim:resumepure
 func loadRunFile(path string) (*runFile, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {

@@ -1,0 +1,74 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"semsim/internal/solver"
+)
+
+// FuzzRunFileDecode hardens the batch-resume envelope reader: arbitrary
+// file bytes must either be rejected with an error or decode to an
+// envelope that satisfies every invariant loadRunFile promises (format
+// tag, version, checksum, payload presence) — never a panic, never a
+// silently-accepted corrupt checkpoint. The CRC makes blind mutations
+// of a valid envelope fail; mutations that re-encode canonically (the
+// decode–re-encode checksum round trip) are the interesting survivors.
+func FuzzRunFileDecode(f *testing.F) {
+	// Seed with genuine envelopes of both phases, written by the real
+	// save path so the checksum is valid.
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.json")
+	if err := saveRunFile(seedPath, &runFile{
+		Key: "deck-1", Point: 2, Run: 3, Phase: phaseDone,
+		Result: &runResult{Events: 41, Current: map[int]float64{0: 1e-9}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	done, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(done)
+	if err := saveRunFile(seedPath, &runFile{
+		Key: "deck-1", Phase: "running", PhaseStart: 7,
+		Solver: &solver.Checkpoint{Version: 1, OptionsHash: "x", Electrons: []int{0}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	running, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(running)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format":"semsim-run-checkpoint","version":1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "cp.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rf, err := loadRunFile(path)
+		if err != nil {
+			return // rejected: the correct answer for corrupt envelopes
+		}
+		if rf.Format != FileFormat || rf.Version != FileVersion {
+			t.Fatalf("accepted envelope with format %q version %d", rf.Format, rf.Version)
+		}
+		if rf.Phase == phaseDone {
+			if rf.Result == nil {
+				t.Fatal("accepted done envelope without a result")
+			}
+		} else if rf.Solver == nil {
+			t.Fatal("accepted in-progress envelope without solver state")
+		}
+		sum, err := rf.checksum()
+		if err != nil || rf.Checksum != sum {
+			t.Fatalf("accepted envelope fails its own checksum: stored %08x computed %08x (err %v)", rf.Checksum, sum, err)
+		}
+	})
+}

@@ -33,6 +33,10 @@ type Analyzer struct {
 	// Run applies the pass to one type-checked package, reporting
 	// findings through pass.Reportf.
 	Run func(*Pass) error
+	// FactTypes declares the concrete fact types the pass exports (one
+	// zero-valued pointer per type), so the drivers can register them
+	// for .vetx serialization. A pass with no FactTypes is purely local.
+	FactTypes []Fact
 }
 
 // Pass carries one type-checked package through an analyzer, mirroring
@@ -49,6 +53,7 @@ type Pass struct {
 	Path string
 
 	report func(Diagnostic)
+	store  *FactStore
 }
 
 // Diagnostic is one finding at a source position.
@@ -80,6 +85,8 @@ func All() []*Analyzer {
 		Physerr,
 		Obsdiscipline,
 		Doccomment,
+		Statecover,
+		Resumepurity,
 	}
 }
 
@@ -114,9 +121,11 @@ func normalizePath(path string) string {
 }
 
 // runAnalyzers applies each analyzer to one package and returns the
-// findings sorted by position.
+// findings sorted by position. Facts the analyzers export (and the
+// imported facts they consult) live in store, which must be shared
+// across the packages of one session; a nil store disables facts.
 func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
-	pkg *types.Package, info *types.Info, path string) ([]Diagnostic, error) {
+	pkg *types.Package, info *types.Info, path string, store *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -127,6 +136,7 @@ func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			Info:     info,
 			Path:     normalizePath(path),
 			report:   func(d Diagnostic) { diags = append(diags, d) },
+			store:    store,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, path, err)
@@ -143,10 +153,12 @@ func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 
 // RunPackage applies the analyzers to one externally type-checked
 // package (the `go vet -vettool` path, where vet supplies the build
-// graph and export data) and returns the findings sorted by position.
+// graph, export data and the dependency facts in store) and returns the
+// findings sorted by position. Facts the analyzers export land in
+// store for the caller to serialize.
 func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
-	pkg *types.Package, info *types.Info, path string) ([]Diagnostic, error) {
-	return runAnalyzers(analyzers, fset, files, pkg, info, path)
+	pkg *types.Package, info *types.Info, path string, store *FactStore) ([]Diagnostic, error) {
+	return runAnalyzers(analyzers, fset, files, pkg, info, path, store)
 }
 
 // newTypesInfo allocates the full set of type-checking maps the passes

@@ -25,8 +25,28 @@ import (
 // path; that lets path-sensitive analyzers (sharddiscipline only fires
 // in internal/solver, unitsafety exempts internal/units) be tested
 // against both matching and non-matching package paths. Fixtures may
-// import sibling fixture packages and the standard library.
+// import sibling fixture packages and the standard library. Imported
+// fixture packages are analyzed first (in dependency order, their
+// diagnostics discarded) so fact-exporting analyzers see their upstream
+// facts exactly as in a module-wide run.
 func RunFixture(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	runFixture(t, a, []string{path})
+}
+
+// RunFixtureModule is the multi-package variant of RunFixture: every
+// listed fixture package (plus its fixture dependencies) is loaded and
+// analyzed in dependency order with one shared fact store, and the
+// `// want` assertions are checked across all listed packages — the
+// harness for passes whose diagnostics depend on facts exported by
+// another package. Dependencies that are not listed contribute facts
+// but have their diagnostics ignored.
+func RunFixtureModule(t *testing.T, a *Analyzer, paths ...string) {
+	t.Helper()
+	runFixture(t, a, paths)
+}
+
+func runFixture(t *testing.T, a *Analyzer, paths []string) {
 	t.Helper()
 	fx := &fixtureLoader{
 		fset:  token.NewFileSet(),
@@ -36,16 +56,35 @@ func RunFixture(t *testing.T, a *Analyzer, path string) {
 	// The standard-library importer shares the fixture fset so positions
 	// stay coherent.
 	fx.std = importer.ForCompiler(fx.fset, "source", nil)
-	pkg, err := fx.load(path)
-	if err != nil {
-		t.Fatal(err)
+	for _, path := range paths {
+		if _, err := fx.load(path); err != nil {
+			t.Fatal(err)
+		}
 	}
-	diags, err := runAnalyzers([]*Analyzer{a}, fx.fset, fx.files[path], pkg.tpkg, pkg.info, path)
-	if err != nil {
-		t.Fatal(err)
+	asserted := map[string]bool{}
+	for _, path := range paths {
+		asserted[path] = true
 	}
 
-	wants := collectWants(t, fx.fset, fx.files[path])
+	// fx.order lists every loaded package, dependencies first; running
+	// the analyzer in that order with one store reproduces the module
+	// driver's fact flow.
+	store := NewFactStore()
+	var diags []Diagnostic
+	var wantFiles []*ast.File
+	for _, path := range fx.order {
+		pkg := fx.pkgs[path]
+		d, err := runAnalyzers([]*Analyzer{a}, fx.fset, fx.files[path], pkg.tpkg, pkg.info, path, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asserted[path] {
+			diags = append(diags, d...)
+			wantFiles = append(wantFiles, fx.files[path]...)
+		}
+	}
+
+	wants := collectWants(t, fx.fset, wantFiles)
 	matched := map[*wantComment]bool{}
 	for _, d := range diags {
 		pos := fx.fset.Position(d.Pos)
@@ -118,6 +157,9 @@ type fixtureLoader struct {
 	pkgs  map[string]*fixturePkg
 	files map[string][]*ast.File
 	stack []string
+	// order records completion order: a package is appended after its
+	// fixture dependencies, so iterating order visits dependencies first.
+	order []string
 }
 
 func (fx *fixtureLoader) load(path string) (*fixturePkg, error) {
@@ -173,6 +215,7 @@ func (fx *fixtureLoader) load(path string) (*fixturePkg, error) {
 	}
 	p := &fixturePkg{tpkg: tpkg, info: info}
 	fx.pkgs[path] = p
+	fx.order = append(fx.order, path)
 	return p, nil
 }
 

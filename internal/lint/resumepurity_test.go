@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestResumepurity(t *testing.T) {
+	RunFixtureModule(t, Resumepurity, "resumepurity/clocks", "resumepurity/restore")
+}

@@ -21,3 +21,44 @@ func TestModuleIsLintClean(t *testing.T) {
 		}
 	}
 }
+
+// TestModuleFactsExported proves the facts engine runs over the real
+// module, not just the fixtures: a clean module run is indistinguishable
+// from a run where no facts flowed, so this inspects the store a
+// module-wide analysis leaves behind. The anchors are deliberately
+// load-bearing: the solver checkpoint envelope must be JSON-complete
+// (the jobs run file embeds it), the solver itself must NOT be (its
+// live unexported state is exactly what Checkpoint exists to
+// translate), a known wall-clock reader must carry a purity fact, and
+// the snapshot codec of internal/rng must carry none.
+func TestModuleFactsExported(t *testing.T) {
+	_, _, store, err := runModule("../..", "", All(), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sf SerialFact
+	if !store.get("semsim/internal/solver", "Checkpoint", &sf) {
+		t.Fatal("no SerialFact for solver.Checkpoint: statecover exported no module facts")
+	}
+	if !sf.Complete {
+		t.Errorf("solver.Checkpoint must be fully serialized (the jobs envelope embeds it): %s", sf.Reason)
+	}
+	if !store.get("semsim/internal/solver", "Sim", &sf) {
+		t.Fatal("no SerialFact for solver.Sim")
+	}
+	if sf.Complete {
+		t.Error("solver.Sim reported JSON-complete; its unexported live state should make it incomplete")
+	}
+
+	var pf PurityFact
+	if !store.get("semsim/internal/jobs", "Engine.Submit", &pf) {
+		t.Error("no PurityFact for jobs.Engine.Submit (reads time.Now): resumepurity exported no module facts")
+	}
+	if store.get("semsim/internal/rng", "Source.MarshalBinary", &pf) {
+		t.Errorf("rng.Source.MarshalBinary became resume-impure: %s", pf.Reason)
+	}
+	if store.get("semsim/internal/rng", "Source.UnmarshalBinary", &pf) {
+		t.Errorf("rng.Source.UnmarshalBinary became resume-impure: %s", pf.Reason)
+	}
+}

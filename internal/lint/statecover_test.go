@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestStatecover(t *testing.T) {
+	RunFixture(t, Statecover, "statecover/a")
+}
+
+func TestStatecoverCrossPackageFacts(t *testing.T) {
+	RunFixtureModule(t, Statecover, "statecover/inner", "statecover/env")
+}

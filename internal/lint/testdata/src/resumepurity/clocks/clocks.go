@@ -1,0 +1,22 @@
+// Package clocks is the upstream fixture for resumepurity's
+// cross-package facts. It registers no snapshot roots, so nothing is
+// reported here — but Stamp's hazards make it resume-impure (exported
+// as a PurityFact) and the Calls counter is a mutable exported global
+// (exported as a GlobalFact), both for the restore fixture to trip
+// over.
+package clocks
+
+import "time"
+
+// Calls counts Stamp invocations; it is mutated outside init, so it is
+// a mutable global.
+var Calls int
+
+// Stamp reads the wall clock and bumps the counter.
+func Stamp() int64 {
+	Calls++
+	return time.Now().UnixNano()
+}
+
+// Pure has no hazards, so no purity fact is exported for it.
+func Pure(x int) int { return x + 1 }

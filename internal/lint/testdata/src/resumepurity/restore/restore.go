@@ -1,0 +1,62 @@
+// Package restore exercises resumepurity on a statecover-rooted
+// checkpoint pair: direct wall-clock and math/rand hazards, mutable
+// globals (local and via cross-package GlobalFact), impure callees via
+// cross-package PurityFact, order-sensitive map iteration, and the
+// same-line waiver.
+package restore
+
+import (
+	"math/rand"
+	"time"
+
+	"resumepurity/clocks"
+)
+
+// limits is assigned from Tune, so it is a mutable global.
+var limits = map[string]float64{}
+
+// Tune mutates limits at runtime.
+func Tune(k string, v float64) { limits[k] = v }
+
+// Sim is the snapshot root whose save/load pair seeds the purity
+// roots.
+//
+//statecover:root save=Save load=Load
+type Sim struct {
+	T        float64
+	Rates    map[string]float64
+	loadedAt int64 //statecover:derived observability metadata, not simulation state
+}
+
+// Save serializes the dynamic state.
+func (s *Sim) Save() map[string]float64 {
+	out := map[string]float64{"t": s.T}
+	_ = time.Since(time.Unix(0, 0)) // want `wall-clock read time.Since`
+	return out
+}
+
+// Load restores it.
+func (s *Sim) Load(m map[string]float64) {
+	s.T = m["t"]
+	s.T += float64(clocks.Stamp())            // want `call to clocks.Stamp, which is not resume-pure`
+	s.T += float64(clocks.Calls)              // want `access to mutable global clocks.Calls`
+	s.T += rand.Float64()                     // want `use of math/rand.Float64`
+	s.loadedAt = time.Now().Unix()            //resumepure:ok wall time is observability metadata, never replayed
+	_ = float64(clocks.Pure(1))               // pure callee: no finding
+	s.refresh()
+}
+
+// refresh is reached from Load, so its hazards are on the restore
+// path too.
+func (s *Sim) refresh() {
+	scale := limits["cap"] // want `access to mutable global limits`
+	for k := range s.Rates {
+		if s.Rates[k] > scale {
+			return // want `map iteration order feeds restored state`
+		}
+	}
+}
+
+// Offline is not reachable from any purity root: its hazard exports a
+// fact but produces no diagnostic.
+func Offline() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,68 @@
+// Package a exercises statecover's method-pair snapshot roots: field
+// coverage through the save/load call closure, the waiver taxonomy, and
+// marker validation.
+package a
+
+// Sim is a toy simulator with a registered snapshot root. The save
+// method serializes t and rngState; the load method restores them and
+// calls refresh, which rebuilds rates — so rates is covered through the
+// call closure even though Load never touches it directly.
+//
+//statecover:root save=Save load=Load
+type Sim struct {
+	t        float64
+	rngState []byte
+	rates    []float64
+	horizon  float64 // want `field horizon of snapshot root Sim is neither serialized by Save nor rebuilt by Load`
+	//statecover:immutable bound to one circuit for the Sim's lifetime
+	topology []int
+	scratch  []float64 //statecover:derived per-event scratch, recomputed before every read
+	//statecover:immutable
+	cfg int // want `statecover:immutable waiver without a reason`
+	//statecover:scratch recomputed
+	tmp int // want `unknown statecover waiver "scratch"`
+}
+
+// Save captures the dynamic state.
+func (s *Sim) Save() map[string]any {
+	return map[string]any{"t": s.t, "rng": s.rngState}
+}
+
+// Load restores it.
+func (s *Sim) Load(m map[string]any) {
+	s.t = m["t"].(float64)
+	s.rngState = m["rng"].([]byte)
+	s.refresh()
+}
+
+func (s *Sim) refresh() {
+	for i := range s.rates {
+		s.rates[i] = 0
+	}
+}
+
+// Broken has a marker naming a save method that does not exist.
+//
+//statecover:root save=Marshal load=Load
+type Broken struct { // want `statecover:root save method Broken.Marshal does not exist`
+	X int //statecover:derived not reached: the root is rejected before coverage runs
+}
+
+// Load exists, so only the save half is reported.
+func (b *Broken) Load(x int) { b.X = x }
+
+// NotAStruct cannot be a snapshot root.
+//
+//statecover:root save=String load=Parse
+type NotAStruct int // want `statecover:root marker on NotAStruct, which is not a struct type`
+
+// Blob is a JSON-serialized snapshot root: unexported and json-skipped
+// fields are lost on the decode half of the round trip.
+//
+//statecover:root save=json
+type Blob struct {
+	T       float64 `json:"t"`
+	hidden  int     // want `unexported field hidden of JSON snapshot root Blob is invisible to encoding/json`
+	Skipped int     `json:"-"` // want `field Skipped of JSON snapshot root Blob is excluded by its json:"-" tag`
+	cache   []byte  //statecover:derived rebuilt lazily from T on first use
+}

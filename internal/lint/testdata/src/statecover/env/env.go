@@ -1,0 +1,15 @@
+// Package env holds a JSON snapshot envelope whose payload types come
+// from the inner package: the incomplete one is reported through its
+// cross-package SerialFact, the complete one passes silently.
+package env
+
+import "statecover/inner"
+
+// Envelope wraps a checkpoint payload for the on-disk format.
+//
+//statecover:root save=json
+type Envelope struct {
+	Version int        `json:"version"`
+	Meta    inner.Meta `json:"meta"`
+	Payload inner.Blob `json:"payload"` // want `field Payload of JSON snapshot root Envelope has type Blob, which is not fully serialized`
+}

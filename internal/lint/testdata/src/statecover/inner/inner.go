@@ -1,0 +1,22 @@
+// Package inner provides payload types for the env fixture, so the
+// cross-package SerialFact flow can be asserted: Blob hides a field
+// from encoding/json (incomplete), Meta is fully serialized
+// (complete). Neither is a snapshot root, so this package is clean —
+// its only analysis output is the exported facts.
+package inner
+
+// Blob looks like a serializable payload but hides state from
+// encoding/json.
+type Blob struct {
+	T      float64 `json:"t"`
+	hidden int
+}
+
+// Touch keeps hidden referenced.
+func (b *Blob) Touch() { b.hidden++ }
+
+// Meta is fully visible to encoding/json.
+type Meta struct {
+	Version int    `json:"version"`
+	Label   string `json:"label"`
+}

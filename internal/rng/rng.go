@@ -17,6 +17,8 @@ import (
 
 // Source is a deterministic xoshiro256** generator. The zero value is
 // not usable; construct with New.
+//
+//statecover:root save=MarshalBinary load=UnmarshalBinary
 type Source struct {
 	s [4]uint64
 }
@@ -124,12 +126,14 @@ const batchSize = 256
 // consumed so far, so snapshots are byte-compatible with Source's
 // encoding regardless of how much of the buffer is prefetched. A Batch
 // is not safe for concurrent use, mirroring Source.
+//
+//statecover:root save=MarshalBinary load=UnmarshalBinary
 type Batch struct {
-	src  Source // underlying generator, ahead of consumption by n-pos draws
-	snap Source // state at the last refill; logical state = snap advanced pos draws
-	buf  [batchSize]uint64
-	pos  int // next unconsumed buffer slot
-	n    int // filled slots (0 before the first refill and after restores)
+	src  Source            // underlying generator, ahead of consumption by n-pos draws
+	snap Source            // state at the last refill; logical state = snap advanced pos draws
+	buf  [batchSize]uint64 //statecover:derived prefetch cache; restores zero pos/n so it refills before the next draw
+	pos  int               // next unconsumed buffer slot
+	n    int               // filled slots (0 before the first refill and after restores)
 }
 
 // NewBatch returns a buffered generator seeded like New(seed): it

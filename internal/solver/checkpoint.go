@@ -36,6 +36,8 @@ const CheckpointVersion = 1
 // rejected loudly instead of silently diverging. Options.Parallel and
 // Options.Seed are deliberately excluded: worker count is proven
 // bit-identical, and the live RNG state travels in the snapshot.
+//
+//statecover:root save=json
 type Checkpoint struct {
 	Version     int       `json:"version"`
 	OptionsHash string    `json:"options_hash"`

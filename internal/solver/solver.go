@@ -193,6 +193,13 @@ type Sample struct {
 }
 
 // Sim is a Monte Carlo simulation bound to one circuit.
+//
+// Sim is a registered snapshot root: the statecover pass verifies that
+// every field is serialized by Checkpoint, rebuilt by Restore (directly
+// or through fullRefresh), or carries a justified waiver — so a field
+// added without deciding its resume story fails the lint.
+//
+//statecover:root save=Checkpoint load=Restore
 type Sim struct {
 	c   *circuit.Circuit
 	opt Options
@@ -213,12 +220,18 @@ type Sim struct {
 	// Channel descriptors, struct-of-arrays. Electron channels occupy
 	// indices 2j (A->B) and 2j+1 (B->A) for junction j; secondary
 	// channels (cotunneling, Cooper pairs) follow, listed in secChans.
+	//
+	//statecover:immutable channel topology, compiled once from the circuit
 	chKinds []chKind
 	chJunc  []int32 // primary junction id
+	//statecover:immutable channel topology, compiled once from the circuit
 	chJunc2 []int32 // second junction for cotunneling, else -1
-	chSrc   []int32 // node ids; carrier moves src -> dst
-	chDst   []int32
-	chMid   []int32 // intermediate island for cotunneling, else -1
+	//statecover:immutable channel topology, compiled once from the circuit
+	chSrc []int32 // node ids; carrier moves src -> dst
+	//statecover:immutable channel topology, compiled once from the circuit
+	chDst []int32
+	//statecover:immutable channel topology, compiled once from the circuit
+	chMid []int32 // intermediate island for cotunneling, else -1
 
 	fen *fenwick
 
@@ -235,6 +248,8 @@ type Sim struct {
 	// is precomputed with the exact float ops of Potentials.DeltaW over
 	// the immutable C^-1, so cached dW values are bit-identical to
 	// recomputed ones.
+	//
+	//statecover:immutable per-junction constants, compiled once from the circuit
 	juncA, juncB       []int32
 	juncAIsl, juncBIsl []int32
 	juncAExt, juncBExt []int32
@@ -269,8 +284,9 @@ type Sim struct {
 	// extV caches SourceVoltage(id, t) per external index, refreshed
 	// whenever t moves, so rate kernels read array slots instead of
 	// dispatching into Source implementations per evaluation.
-	extIDs    []int
-	extV      []float64
+	extIDs []int
+	extV   []float64
+	//statecover:immutable node-id indexing, compiled once from the circuit
 	extIdxOf  []int32 // node id -> external index, -1 for islands
 	extVFresh bool    // static circuits: filled once, never again
 
@@ -283,14 +299,14 @@ type Sim struct {
 	workerCalcs    []uint64  // per-worker rate-calc counters
 	allJunc        []int     // identity index list [0, nj)
 	fnJuncShard    func(worker, lo, hi int)
-	fnFlaggedShard func(worker, lo, hi int)
+	fnFlaggedShard func(worker, lo, hi int) //statecover:immutable worker closure bound at construction
 	fnSecShard     func(worker, lo, hi int)
 	fnSolveShard   func(worker, lo, hi int)
 
 	// Tabulated normal-state kernels (nil when exact or superconducting).
 	normK    *orthodox.Kernel
-	cotK     *cotunnel.Kernel
-	ratePref []float64 // per-junction kT/(e^2 R)
+	cotK     *cotunnel.Kernel //statecover:immutable rate table, a pure function of Options
+	ratePref []float64        // per-junction kT/(e^2 R)
 	invKT    float64
 
 	// Superconducting machinery (nil/empty when normal).
@@ -300,11 +316,15 @@ type Sim struct {
 	ej      []float64        // per junction Josephson energy
 
 	// Time-dependence.
-	static  bool
-	breaks  []float64 // merged PWL breakpoints, sorted
-	maxStep float64   // cap for continuous sources (sine/ramps); 0 = none
-	horizon float64   // active Run deadline; steps never overshoot it
-	ramps   []PWLRamp // sources needing ramp subdivision, external order
+	static bool
+	//statecover:immutable source schedule, compiled once from the circuit
+	breaks []float64 // merged PWL breakpoints, sorted
+	//statecover:immutable source schedule, compiled once from the circuit
+	maxStep float64 // cap for continuous sources (sine/ramps); 0 = none
+	//statecover:derived re-established by every Run call before stepping
+	horizon float64 // active Run deadline; steps never overshoot it
+	//statecover:immutable source schedule, compiled once from the circuit
+	ramps []PWLRamp // sources needing ramp subdivision, external order
 
 	// Measurement.
 	charge    []float64 // per junction, conventional charge A->B (coulombs)
@@ -317,22 +337,35 @@ type Sim struct {
 	lastProbe map[int]float64
 
 	// Scratch buffers for the adaptive BFS.
+	//
+	//statecover:derived per-update scratch, dead between adaptive updates
 	visited []uint32
-	stamp   uint32
+	//statecover:derived epoch counter paired with visited; any consistent value is valid
+	stamp uint32
+	//statecover:derived per-update scratch, dead between adaptive updates
 	scratch []int
+	//statecover:derived per-update scratch, dead between adaptive updates
 	flagged []int // junctions flagged this update, recalculated in batch
 
 	// Per-event memo of the event's potential shift per island: the
 	// adaptive test reads each island's shift once per event instead of
 	// recomputing PotentialShift per tested junction endpoint.
-	dpVal   []float64
+	//
+	//statecover:derived per-event memo, dead between events
+	dpVal []float64
+	//statecover:derived epoch-stamped memo validity array, dead between events
 	dpStamp []uint32
+	//statecover:derived epoch counter paired with dpStamp; any consistent value is valid
 	dpEpoch uint32
 
 	// Input-change scratch (no per-change allocation).
+	//
+	//statecover:derived per-change scratch, dead between input changes
 	vextScratch []float64
-	dvIsl       []float64 // per-island potential delta of the change
-	dvExt       []float64 // per-external voltage delta of the change
+	//statecover:derived per-change scratch, dead between input changes
+	dvIsl []float64 // per-island potential delta of the change
+	//statecover:derived per-change scratch, dead between input changes
+	dvExt []float64 // per-external voltage delta of the change
 
 	// dbgInit arms the potential-drift invariant once the first full
 	// refresh has established a baseline (semsimdebug builds only).
