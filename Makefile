@@ -67,10 +67,13 @@ bench-compare:
 potential-engine:
 	go run ./cmd/experiments potential-engine
 
-# Observability overhead on c432 (obs off vs metrics-only vs full
-# tracing, same seed) -> results/BENCH_obs_overhead.json.
+# Observability overhead on c432 (obs off vs metrics-only vs jobs-layer
+# task telemetry vs full tracing, same seed)
+# -> results/BENCH_obs_overhead.json, then gate it: the always-on modes
+# must cost < 5% and every mode must run the identical trajectory.
 obs-overhead:
 	go run ./cmd/experiments obs-overhead
+	go run ./cmd/benchcmp -obs results/BENCH_obs_overhead.json
 
 # Regenerate every figure of the paper into ./results (see
 # EXPERIMENTS.md). The full run takes hours on one core; use

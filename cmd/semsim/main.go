@@ -10,6 +10,12 @@
 // Output columns: the swept source value (volts) followed by the
 // time-averaged current (amperes) of each recorded junction. Lines
 // starting with '#' describe the run.
+//
+// With -follow URL the command instead attaches to a job running on a
+// semsimd daemon and renders its live event stream (progress, task
+// completions, checkpoints, retries) until the job ends:
+//
+//	semsim -follow http://localhost:8723/api/v1/jobs/j000001
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"syscall"
 
 	"semsim"
+	"semsim/internal/jobs"
 	"semsim/internal/obs"
 )
 
@@ -40,11 +47,25 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve live metrics, trace and pprof on this address (e.g. :6060)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event journal of the run to this file")
 	progress := flag.Bool("progress", false, "print periodic progress lines to stderr")
+	follow := flag.String("follow", "", "stream a semsimd job's live events instead of running a deck (job URL, e.g. http://host:8723/api/v1/jobs/j000001)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: semsim [-o out.dat] [-parallel n] [-rate-tables] [-sparse] [-cinv-eps e] [-checkpoint-dir d] [-resume] [-workers n] [-obs-addr :6060] [-trace run.json] [-progress] [input.cir]\n")
+		fmt.Fprintf(os.Stderr, "usage: semsim [-o out.dat] [-parallel n] [-rate-tables] [-sparse] [-cinv-eps e] [-checkpoint-dir d] [-resume] [-workers n] [-obs-addr :6060] [-trace run.json] [-progress] [input.cir]\n       semsim -follow http://host:8723/api/v1/jobs/{id}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *follow != "" {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		if err := jobs.Follow(ctx, *follow, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	stopObs, err := obs.StartCLI(obs.CLIConfig{Addr: *obsAddr, TraceFile: *traceFile, Progress: *progress})
 	if err != nil {

@@ -16,14 +16,21 @@
 //	GET  /api/v1/jobs/{id}        job status
 //	GET  /api/v1/jobs/{id}/result folded sweep points (when done)
 //	POST /api/v1/jobs/{id}/cancel abort a job
+//	GET  /api/v1/jobs/{id}/events live progress (Server-Sent Events; also /jobs/{id}/events)
+//	GET  /api/v1/jobs/{id}/trace  merged per-worker Chrome trace (also /jobs/{id}/trace)
 //	GET  /healthz                 liveness
 //	GET  /metrics /trace /heatmap /debug/pprof/   observability
 //
+// /metrics content-negotiates: the stable JSON snapshot by default, the
+// Prometheus text exposition for scrapers (Accept: text/plain or
+// ?format=prometheus).
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: no new tasks start,
 // in-flight runs persist a final checkpoint at their next refresh
-// boundary, and the process exits once every worker has stopped (or
-// after -drain-timeout, whichever comes first). A second signal aborts
-// immediately.
+// boundary, event streams deliver their jobs' terminal states, the
+// journal sink and final metrics snapshot are flushed, and only then
+// does the listener close — all bounded by -drain-timeout. A second
+// signal aborts immediately.
 package main
 
 import (
@@ -51,8 +58,10 @@ func main() {
 	retries := flag.Int("retries", 0, "retries per task for transient failures (0 = default of 2, negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a graceful shutdown may take before aborting")
 	traceOn := flag.Bool("trace-journal", false, "record the run journal (served at /trace)")
+	traceJSONL := flag.String("trace-jsonl", "", "additionally append every journal event to this JSONL file (implies -trace-journal)")
+	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot to this file on shutdown")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: semsimd [-addr :8723] [-dir semsimd-data] [-workers n] [-checkpoint-every n] [-job-timeout d] [-retries n] [-drain-timeout d] [-trace-journal]\n")
+		fmt.Fprintf(os.Stderr, "usage: semsimd [-addr :8723] [-dir semsimd-data] [-workers n] [-checkpoint-every n] [-job-timeout d] [-retries n] [-drain-timeout d] [-trace-journal] [-trace-jsonl f] [-metrics-out f]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,7 +76,18 @@ func main() {
 		}
 	}
 
-	o := obs.New(obs.Config{Trace: *traceOn})
+	cfg := obs.Config{Trace: *traceOn}
+	var jsonl *os.File
+	if *traceJSONL != "" {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			fatal(err)
+		}
+		jsonl = f
+		cfg.Trace = true
+		cfg.TraceJSONL = f
+	}
+	o := obs.New(cfg)
 	obs.SetGlobal(o)
 
 	engine := jobs.NewEngine(jobs.EngineConfig{
@@ -99,8 +119,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "semsimd: %v — draining (checkpointing in-flight runs; signal again to abort)\n", sig)
 	}
 
-	// Stop accepting API requests, then drain the engine. A second
-	// signal (or the drain timeout) aborts the drain.
+	// Shutdown ordering matters: drain the engine first (every job
+	// reaches a terminal state, so /jobs/{id}/events streams deliver it
+	// and end), then flush the journal sink and write the final metrics
+	// snapshot — both must land before the listener closes, or a drain
+	// racing a crash-loop supervisor loses the tail of the journal — and
+	// close the listener last. A second signal (or the drain timeout)
+	// aborts the drain.
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	go func() {
@@ -108,14 +133,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "semsimd: aborting")
 		cancel()
 	}()
+	drainErr := engine.Shutdown(shutCtx)
+	if j := o.Journal(); j != nil {
+		if err := j.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "semsimd: journal flush:", err)
+		}
+	}
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "semsimd: journal close:", err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut, o); err != nil {
+			fmt.Fprintln(os.Stderr, "semsimd: metrics snapshot:", err)
+		}
+	}
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "semsimd:", err)
 	}
-	if err := engine.Shutdown(shutCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "semsimd: drain incomplete:", err)
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "semsimd: drain incomplete:", drainErr)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "semsimd: drained cleanly")
+}
+
+// writeMetricsSnapshot persists the registry's stable JSON snapshot.
+func writeMetricsSnapshot(path string, o *obs.Observer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Registry().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

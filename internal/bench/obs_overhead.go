@@ -1,8 +1,12 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"time"
 
+	"semsim/internal/jobs"
 	"semsim/internal/logicnet"
 	"semsim/internal/obs"
 	"semsim/internal/solver"
@@ -11,7 +15,7 @@ import (
 // ObsOverheadRun is one timed observability configuration of the
 // overhead benchmark.
 type ObsOverheadRun struct {
-	Mode         string  `json:"mode"` // "off", "metrics", "tracing"
+	Mode         string  `json:"mode"` // "off", "metrics", "jobmetrics", "tracing"
 	Events       uint64  `json:"events"`
 	WallSeconds  float64 `json:"wall_seconds"` // best of Repeats
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -25,8 +29,9 @@ type ObsOverheadRun struct {
 
 // ObsOverheadReport measures what observability costs on a real
 // workload: the same trajectory (same seed — observation is passive, so
-// all three modes execute identical event sequences) timed with obs
-// off, metrics only, and full tracing.
+// every mode executes the identical event sequence) timed with obs
+// off, metrics only, the jobs-layer task telemetry (registry counters,
+// trace lanes and bus publishes per runner chunk), and full tracing.
 type ObsOverheadReport struct {
 	Benchmark string           `json:"benchmark"`
 	Junctions int              `json:"junctions"`
@@ -53,7 +58,7 @@ func RunObsOverhead(b Benchmark, p logicnet.Params, events, seed uint64, repeats
 		Events:    events,
 		Repeats:   repeats,
 	}
-	modes := []string{"off", "metrics", "tracing"}
+	modes := []string{"off", "metrics", "jobmetrics", "tracing"}
 	var baseEvents uint64
 	var basePerSec float64
 	for _, mode := range modes {
@@ -68,13 +73,19 @@ func RunObsOverhead(b Benchmark, p logicnet.Params, events, seed uint64, repeats
 				Parallel:   1,
 			}
 			switch mode {
-			case "metrics":
+			case "metrics", "jobmetrics":
 				opt.Obs = obs.New(obs.Config{})
 			case "tracing":
 				opt.Obs = obs.New(obs.Config{Trace: true, TraceCap: 1 << 16})
 			}
 			lastObs = opt.Obs
-			res, err := TimeSolverOn(ex, opt, events, 0)
+			var res TimingResult
+			var err error
+			if mode == "jobmetrics" {
+				res, err = timeObservedRun(ex, opt, events)
+			} else {
+				res, err = TimeSolverOn(ex, opt, events, 0)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -107,4 +118,74 @@ func RunObsOverhead(b Benchmark, p logicnet.Params, events, seed uint64, repeats
 		rep.Runs = append(rep.Runs, run)
 	}
 	return rep, nil
+}
+
+// timeObservedRun times the workload through the jobs-layer chunked
+// runner with full task telemetry attached (jobs.BenchObservedRun) —
+// the configuration a semsimd worker executes. The chunked runner is
+// trajectory-identical to a direct solver run, which RunObsOverhead's
+// event-count check enforces.
+func timeObservedRun(ex *logicnet.Expanded, opt solver.Options, maxEvents uint64) (TimingResult, error) {
+	s, err := solver.New(ex.Circuit, opt)
+	if err != nil {
+		return TimingResult{}, err
+	}
+	defer s.Close()
+	start := time.Now()
+	if _, err := jobs.BenchObservedRun(s, maxEvents, opt.Obs, 1); err != nil && err != solver.ErrBlockaded {
+		return TimingResult{}, err
+	}
+	wall := time.Since(start)
+	return TimingResult{Events: s.Stats().Events, Wall: wall, SimulatedTime: s.Time()}, nil
+}
+
+// LoadObsOverheadReport reads a BENCH_obs_overhead.json snapshot.
+func LoadObsOverheadReport(path string) (*ObsOverheadReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep ObsOverheadReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if len(rep.Runs) == 0 {
+		return nil, fmt.Errorf("bench: %s: no runs in report", path)
+	}
+	return &rep, nil
+}
+
+// CheckObsOverheadBudget gates an obs-overhead snapshot: the always-on
+// modes ("metrics" and "jobmetrics" — what a production semsimd pays)
+// must each cost less than budgetPct relative to the bare solver, every
+// mode must have executed the same trajectory as "off", and the modes
+// themselves must all be present. Full tracing is exempt: it is an
+// opt-in diagnostic, priced but not bounded. Returns one message per
+// violation.
+func CheckObsOverheadBudget(rep *ObsOverheadReport, budgetPct float64) []string {
+	var bad []string
+	seen := map[string]bool{}
+	var baseEvents uint64
+	for _, r := range rep.Runs {
+		seen[r.Mode] = true
+		if r.Mode == "off" {
+			baseEvents = r.Events
+		}
+	}
+	for _, want := range []string{"off", "metrics", "jobmetrics", "tracing"} {
+		if !seen[want] {
+			bad = append(bad, fmt.Sprintf("%s: mode %q missing from snapshot (regenerate with make obs-overhead)", rep.Benchmark, want))
+		}
+	}
+	for _, r := range rep.Runs {
+		if r.Events != baseEvents {
+			bad = append(bad, fmt.Sprintf("%s/%s: trajectory diverged (%d events vs %d with obs off): observation is not passive",
+				rep.Benchmark, r.Mode, r.Events, baseEvents))
+		}
+		if (r.Mode == "metrics" || r.Mode == "jobmetrics") && r.OverheadPct >= budgetPct {
+			bad = append(bad, fmt.Sprintf("%s/%s: %.1f%% overhead exceeds the %.0f%% always-on budget",
+				rep.Benchmark, r.Mode, r.OverheadPct, budgetPct))
+		}
+	}
+	return bad
 }

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 
 	"semsim/internal/solver"
 )
@@ -58,6 +59,15 @@ func (f *runFile) checksum() (uint32, error) {
 	return crc32.ChecksumIEEE(blob), nil
 }
 
+// ckptStats reports one checkpoint write for the engine's latency and
+// size metrics: payload bytes, the fsync's share of the time, and the
+// whole marshal-write-sync-rename sequence.
+type ckptStats struct {
+	bytes   int
+	fsyncNS int64
+	totalNS int64
+}
+
 // saveRunFile writes the envelope atomically: marshal, write to a
 // temporary file in the same directory, fsync, then rename over the
 // final path. A crash at any instant leaves either the previous
@@ -65,43 +75,60 @@ func (f *runFile) checksum() (uint32, error) {
 //
 //semsim:resumepure
 func saveRunFile(path string, f *runFile) error {
+	_, err := saveRunFileTimed(path, f)
+	return err
+}
+
+// saveRunFileTimed is saveRunFile returning write statistics. The
+// wall-clock reads feed the checkpoint latency metrics only — no timing
+// value is written into the envelope or any other persisted state, so
+// they cannot perturb a resumed trajectory.
+//
+//semsim:resumepure
+func saveRunFileTimed(path string, f *runFile) (ckptStats, error) {
+	var st ckptStats
+	start := time.Now() //resumepure:ok wall clock feeds checkpoint latency metrics only, never persisted state
 	f.Format = FileFormat
 	f.Version = FileVersion
 	sum, err := f.checksum()
 	if err != nil {
-		return fmt.Errorf("jobs: encode checkpoint: %w", err)
+		return st, fmt.Errorf("jobs: encode checkpoint: %w", err)
 	}
 	f.Checksum = sum
 	blob, err := json.Marshal(f)
 	if err != nil {
-		return fmt.Errorf("jobs: encode checkpoint: %w", err)
+		return st, fmt.Errorf("jobs: encode checkpoint: %w", err)
 	}
+	st.bytes = len(blob)
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("jobs: write checkpoint: %w", err)
+		return st, fmt.Errorf("jobs: write checkpoint: %w", err)
 	}
 	tmpName := tmp.Name()
 	cleanup := func() { os.Remove(tmpName) }
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		cleanup()
-		return fmt.Errorf("jobs: write checkpoint: %w", err)
+		return st, fmt.Errorf("jobs: write checkpoint: %w", err)
 	}
+	syncStart := time.Now() //resumepure:ok wall clock feeds checkpoint latency metrics only, never persisted state
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		cleanup()
-		return fmt.Errorf("jobs: sync checkpoint: %w", err)
+		return st, fmt.Errorf("jobs: sync checkpoint: %w", err)
 	}
+	st.fsyncNS = int64(time.Since(syncStart)) //resumepure:ok wall clock feeds checkpoint latency metrics only, never persisted state
 	if err := tmp.Close(); err != nil {
 		cleanup()
-		return fmt.Errorf("jobs: close checkpoint: %w", err)
+		return st, fmt.Errorf("jobs: close checkpoint: %w", err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		cleanup()
-		return fmt.Errorf("jobs: commit checkpoint: %w", err)
+		return st, fmt.Errorf("jobs: commit checkpoint: %w", err)
 	}
-	return nil
+	st.totalNS = int64(time.Since(start)) //resumepure:ok wall clock feeds checkpoint latency metrics only, never persisted state
+	return st, nil
 }
 
 // loadRunFile reads and validates a checkpoint envelope: format tag,

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"semsim/internal/netlist"
@@ -75,6 +76,7 @@ type Job struct {
 	state     State
 	err       error
 	created   time.Time
+	started   time.Time // first task start (zero until running)
 	finished  time.Time
 	done      int // completed tasks
 	total     int
@@ -84,6 +86,12 @@ type Job struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
 	completed chan struct{} // closed when the job reaches a terminal state
+
+	// Observability (see observe.go): the per-job trace lanes and the
+	// atomics feeding progress events. All passive.
+	trace        *jobTrace
+	events       atomic.Uint64 // solver events applied across all tasks
+	lastProgress atomic.Int64  // wall ns of the last progress publish
 }
 
 // JobStatus is a JSON-friendly snapshot of a job's progress.
@@ -126,6 +134,14 @@ type Engine struct {
 	seq    int
 	closed bool
 
+	// Observability (see observe.go): the live-progress event bus, the
+	// pre-resolved engine metrics (nil without an observer), and the
+	// atomics behind the queue/worker gauges.
+	bus      *obs.Bus
+	eobs     *engineObs
+	queueLen atomic.Int64
+	running  atomic.Int64
+
 	// runTask is the task executor; tests substitute a scripted one.
 	runTask func(ctx context.Context, t task, cfg RunConfig) (runResult, error)
 }
@@ -153,8 +169,14 @@ func newEngine(cfg EngineConfig, runTask func(ctx context.Context, t task, cfg R
 		cfg:   cfg,
 		drain: make(chan struct{}),
 		jobs:  map[string]*Job{},
+		bus:   obs.NewBus(0, 0),
 	}
 	e.cond = sync.NewCond(&e.mu)
+	if o := e.observer(); o != nil {
+		e.eobs = newEngineObs(o, e)
+		e.bus.CountOn(o.Registry().Counter("jobs.events_published"),
+			o.Registry().Counter("jobs.events_dropped"))
+	}
 	e.runTask = runTask
 	if e.runTask == nil {
 		e.runTask = func(ctx context.Context, t task, cfg RunConfig) (runResult, error) {
@@ -163,7 +185,7 @@ func newEngine(cfg EngineConfig, runTask func(ctx context.Context, t task, cfg R
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		e.wg.Add(1)
-		go e.worker()
+		go e.worker(w)
 	}
 	return e
 }
@@ -235,6 +257,7 @@ func (e *Engine) Submit(d *netlist.Deck, ov Overrides) (*Job, error) {
 	for i := range j.results {
 		j.results[i] = make([]runResult, runs)
 	}
+	j.trace = newJobTrace(e.cfg.Workers, j.created)
 	base := context.Background()
 	if e.cfg.JobTimeout > 0 {
 		j.ctx, j.cancel = context.WithTimeout(base, e.cfg.JobTimeout)
@@ -247,7 +270,10 @@ func (e *Engine) Submit(d *netlist.Deck, ov Overrides) (*Job, error) {
 			e.queue = append(e.queue, task{job: j, point: i, run: r})
 		}
 	}
+	e.queueLen.Add(int64(j.total))
 	e.count("jobs.submitted")
+	j.trace.job.Record(obs.Event{Kind: obs.KindJobState, A: obs.JobStateQueued, Wall: j.trace.wall()})
+	e.publish(j, "state", fmt.Sprintf(`{"job":%q,"state":%q,"tasks_total":%d}`, j.id, StateQueued, j.total))
 	e.cond.Broadcast()
 	return j, nil
 }
@@ -353,7 +379,7 @@ func (e *Engine) draining() bool {
 	}
 }
 
-func (e *Engine) worker() {
+func (e *Engine) worker(id int) {
 	defer e.wg.Done()
 	for {
 		e.mu.Lock()
@@ -366,10 +392,22 @@ func (e *Engine) worker() {
 		}
 		t := e.queue[0]
 		e.queue = e.queue[1:]
+		e.queueLen.Add(-1)
+		first := false
 		if t.job.state == StateQueued {
 			t.job.state = StateRunning
+			t.job.started = time.Now()
+			first = true
 		}
 		e.mu.Unlock()
+		if first {
+			// The queued span closes when the first task starts.
+			tr := t.job.trace
+			now := tr.wall()
+			tr.job.Record(obs.Event{Kind: obs.KindSpan, Junc: tr.job.InternName("queued"), Dur: now})
+			tr.job.Record(obs.Event{Kind: obs.KindJobState, A: obs.JobStateRunning, Wall: now})
+			e.publish(t.job, "state", fmt.Sprintf(`{"job":%q,"state":%q}`, t.job.id, StateRunning))
+		}
 
 		switch {
 		case t.job.ctx.Err() != nil:
@@ -383,16 +421,33 @@ func (e *Engine) worker() {
 			continue
 		}
 
+		lane := t.job.trace.workers[id%len(t.job.trace.workers)]
 		cfg := RunConfig{
 			Dir:    e.cfg.CheckpointDir,
 			Every:  e.cfg.CheckpointEvery,
 			Resume: e.cfg.CheckpointDir != "",
 			Stop:   e.drain,
+			hooks:  &taskHooks{e: e, j: t.job, lane: lane, point: t.point, run: t.run},
 		}
+		e.running.Add(1)
+		startWall := t.job.trace.wall()
 		res, err := e.runTask(t.job.ctx, t, cfg)
+		e.running.Add(-1)
+		lane.Record(obs.Event{Kind: obs.KindTaskRun, Junc: int32(t.point), A: int32(t.run),
+			B: taskOutcome(err), V1: float64(res.Events),
+			Wall: startWall, Dur: t.job.trace.wall() - startWall})
 		if err != nil && isTransient(err) && t.attempt < e.cfg.MaxRetries &&
 			t.job.ctx.Err() == nil && !e.draining() {
 			e.count("jobs.task_retries")
+			if m := e.eobs; m != nil {
+				m.tasksRetried.Add(1)
+			}
+			delay := e.cfg.RetryBackoff << uint(t.attempt)
+			lane.Record(obs.Event{Kind: obs.KindTaskRetry, Junc: int32(t.point), A: int32(t.run),
+				B: int32(t.attempt + 1), V1: delay.Seconds(), V2: float64(errClass(err)),
+				Wall: t.job.trace.wall()})
+			e.publish(t.job, "retry", fmt.Sprintf(`{"job":%q,"point":%d,"run":%d,"attempt":%d,"delay_sec":%g,"error_class":%q}`,
+				t.job.id, t.point, t.run, t.attempt+1, delay.Seconds(), obs.ErrClassName(int(errClass(err)))))
 			if e.backoff(t) {
 				continue // requeued
 			}
@@ -422,13 +477,15 @@ func (e *Engine) backoff(t task) bool {
 		return false
 	}
 	e.queue = append(e.queue, t)
+	e.queueLen.Add(1)
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	return true
 }
 
 // finishTask records a task outcome and finalizes the job when it was
-// the last one.
+// the last one. The terminal bus event is published before completed is
+// closed, so event streams always observe the final state.
 func (e *Engine) finishTask(t task, res runResult, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -443,6 +500,10 @@ func (e *Engine) finishTask(t task, res runResult, err error) {
 			j.err = err
 		}
 	}
+	outcome := taskOutcome(err)
+	e.eobs.finished(outcome)
+	e.publish(j, "task_done", fmt.Sprintf(`{"job":%q,"point":%d,"run":%d,"outcome":%q,"events":%d,"done":%d,"total":%d}`,
+		j.id, t.point, t.run, obs.TaskOutcomeName(int(outcome)), res.Events, j.done, j.total))
 	if j.done < j.total {
 		return
 	}
@@ -471,6 +532,22 @@ func (e *Engine) finishTask(t task, res runResult, err error) {
 		j.state = StateFailed
 		e.count("jobs.failed")
 	}
+	if tr := j.trace; tr != nil {
+		now := tr.wall()
+		if !j.started.IsZero() {
+			// The running span covers first task start to job finish.
+			start := int64(j.started.Sub(tr.epoch))
+			tr.job.Record(obs.Event{Kind: obs.KindSpan, Junc: tr.job.InternName("running"),
+				Wall: start, Dur: now - start})
+		}
+		tr.job.Record(obs.Event{Kind: obs.KindJobState, A: jobStateCode(j.state), Wall: now})
+	}
+	errText := ""
+	if j.err != nil {
+		errText = j.err.Error()
+	}
+	e.publish(j, "state", fmt.Sprintf(`{"job":%q,"state":%q,"done":%d,"total":%d,"error":%q}`,
+		j.id, j.state, j.done, j.total, errText))
 	j.cancel() // release the timeout timer
 	close(j.completed)
 }

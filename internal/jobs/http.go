@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"semsim/internal/netlist"
@@ -45,8 +46,20 @@ type ResultResponse struct {
 //	GET  /api/v1/jobs/{id}        one job's status     (JobStatus)
 //	GET  /api/v1/jobs/{id}/result completed points     (ResultResponse)
 //	POST /api/v1/jobs/{id}/cancel abort a job
+//	GET  /api/v1/jobs/{id}/events live progress stream (Server-Sent Events)
+//	GET  /api/v1/jobs/{id}/trace  merged per-worker Chrome trace
 //	GET  /healthz                 liveness probe
 //	/metrics /trace /heatmap /debug/pprof/   obs routes (o != nil)
+//
+// The events and trace routes are also reachable at the short aliases
+// /jobs/{id}/events and /jobs/{id}/trace (curl-friendly).
+//
+// The event stream replays from the job's retained ring: a reconnecting
+// client sends the standard Last-Event-ID header (or ?after=N) and
+// receives every retained event with a greater sequence number. A slow
+// client never stalls the engine — its per-subscriber ring drops oldest
+// events instead, and the stream reports the gap as an
+// `event: dropped` record.
 func NewHandler(e *Engine, o *obs.Observer) http.Handler {
 	mux := http.NewServeMux()
 
@@ -122,6 +135,27 @@ func NewHandler(e *Engine, o *obs.Observer) http.Handler {
 		}
 	})
 
+	events := func(w http.ResponseWriter, r *http.Request) {
+		if j := jobOr404(w, r); j != nil {
+			serveJobEvents(e, j, w, r)
+		}
+	}
+	trace := func(w http.ResponseWriter, r *http.Request) {
+		j := jobOr404(w, r)
+		if j == nil {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteMergedChromeTrace(w, j.trace.lanes()); err != nil {
+			// The client hung up mid-response; nothing to clean up.
+			return
+		}
+	}
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", events)
+	mux.HandleFunc("GET /jobs/{id}/events", events)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", trace)
+	mux.HandleFunc("GET /jobs/{id}/trace", trace)
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -130,4 +164,72 @@ func NewHandler(e *Engine, o *obs.Observer) http.Handler {
 		mux.Handle("/", obs.Handler(o))
 	}
 	return mux
+}
+
+// serveJobEvents streams one job's bus topic as Server-Sent Events
+// until the job reaches a terminal state (the terminal state event is
+// always delivered first) or the client disconnects. Replay honors the
+// Last-Event-ID header and the ?after=N query; ring overwrites on a
+// slow connection surface as `event: dropped` records carrying the gap
+// size, never as a stalled engine.
+func serveJobEvents(e *Engine, j *Job, w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "jobs: event streaming needs a flushable connection", http.StatusInternalServerError)
+		return
+	}
+	var after uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.ParseUint(v, 10, 64)
+	}
+	if v := r.URL.Query().Get("after"); v != "" {
+		after, _ = strconv.ParseUint(v, 10, 64)
+	}
+	sub := e.bus.Subscribe(j.id, after)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var reported uint64 // subscriber drops already told to this client
+	drain := func() bool {
+		wrote := false
+		for {
+			if d := sub.Dropped(); d > reported {
+				fmt.Fprintf(w, "event: dropped\ndata: {\"job\":%q,\"dropped\":%d}\n\n", j.id, d-reported)
+				reported = d
+				wrote = true
+			}
+			ev, ok := sub.Next()
+			if !ok {
+				break
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, ev.Data); err != nil {
+				return false
+			}
+			wrote = true
+		}
+		if wrote {
+			fl.Flush()
+		}
+		return true
+	}
+	for {
+		if !drain() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.completed:
+			// The terminal state event was published before completed
+			// closed, so one final drain delivers it.
+			drain()
+			return
+		case <-sub.Ready():
+		}
+	}
 }

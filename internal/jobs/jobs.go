@@ -100,6 +100,11 @@ type RunConfig struct {
 	// Stop, when closed, asks in-flight runs to checkpoint at the next
 	// refresh boundary and return ErrInterrupted (graceful drain).
 	Stop <-chan struct{}
+
+	// hooks receives per-task observability callbacks (checkpoint writes,
+	// resumes, per-chunk progress). Only the Engine sets it; nil (the
+	// ExecuteDeck and RunSim paths) disables all task telemetry.
+	hooks *taskHooks
 }
 
 // defaultCheckpointEvery is the checkpoint cadence (in events) when

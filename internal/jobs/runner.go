@@ -62,6 +62,7 @@ type phaseRunner struct {
 	key   string
 	point int
 	run   int
+	hooks *taskHooks // nil-safe task telemetry (engine-run tasks only)
 
 	lastCk uint64 // Stats.Events at the last persisted checkpoint
 }
@@ -80,7 +81,7 @@ func newPhaseRunner(ctx context.Context, s *solver.Sim, cfg RunConfig) *phaseRun
 	// in every solver mode.
 	every = (every + rp - 1) / rp * rp
 	return &phaseRunner{
-		s: s, ctx: ctx, stop: cfg.Stop,
+		s: s, ctx: ctx, stop: cfg.Stop, hooks: cfg.hooks,
 		every: every, rp: rp,
 		lastCk: s.Stats().Events,
 	}
@@ -109,13 +110,15 @@ func (p *phaseRunner) save(phase string, phaseStart uint64) error {
 		Key: p.key, Point: p.point, Run: p.run,
 		Phase: phase, PhaseStart: phaseStart, Solver: cp,
 	}
-	if err := saveRunFile(p.path, f); err != nil {
+	st, err := saveRunFileTimed(p.path, f)
+	if err != nil {
 		return &transientError{err}
 	}
 	p.lastCk = p.s.Stats().Events
 	if o := obs.Global(); o != nil {
 		o.Registry().Counter("jobs.checkpoints_written").Add(1)
 	}
+	p.hooks.checkpoint(st)
 	return nil
 }
 
@@ -171,6 +174,7 @@ func (p *phaseRunner) runPhase(phase string, phaseStart, budget uint64, horizon 
 			chunk = budget - done
 		}
 		n, err := p.s.Run(chunk, horizon)
+		p.hooks.chunk(n)
 		if err != nil {
 			return err
 		}
@@ -254,6 +258,7 @@ func runDeckPoint(ctx context.Context, d *netlist.Deck, ov Overrides, key string
 				if o := obs.Global(); o != nil {
 					o.Registry().Counter("jobs.runs_resumed").Add(1)
 				}
+				cfg.hooks.resumed(0)
 				return *f.Result, nil
 			}
 			if err := s.Restore(f.Solver); err != nil {
@@ -264,8 +269,10 @@ func runDeckPoint(ctx context.Context, d *netlist.Deck, ov Overrides, key string
 			if o := obs.Global(); o != nil {
 				o.Registry().Counter("jobs.runs_resumed").Add(1)
 			}
+			cfg.hooks.resumed(s.Stats().Events)
 		case os.IsNotExist(err):
 			// Fresh start.
+			cfg.hooks.fresh()
 		default:
 			return runResult{}, err
 		}

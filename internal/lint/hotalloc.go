@@ -28,16 +28,18 @@ import (
 // loop (e.g. the Fenwick pending arrays append into preallocated
 // capacity; a PWL ramp's RampStep runs once per step, not per rate).
 //
-// The pass runs only over internal/solver, internal/rng and
-// internal/numeric — the packages with code on the per-event path —
-// and, like every pass, skips _test.go files.
+// The pass runs only over internal/solver, internal/rng,
+// internal/numeric and internal/obs — the packages with code on the
+// per-event path (the event bus's publish fan-out runs once per
+// published job event and must stay amortized-allocation-free) — and,
+// like every pass, skips _test.go files.
 var Hotalloc = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "in //semsim:hot functions of internal/solver and internal/rng, flag interface dispatch and allocation sites lacking a //hotalloc:ok waiver",
 	Run:  runHotalloc,
 }
 
-var hotallocPkgs = []string{"internal/solver", "internal/rng", "internal/numeric"}
+var hotallocPkgs = []string{"internal/solver", "internal/rng", "internal/numeric", "internal/obs"}
 
 func runHotalloc(pass *Pass) error {
 	if !pathHasSuffixAny(pass.Path, hotallocPkgs) {
@@ -59,15 +61,7 @@ func runHotalloc(pass *Pass) error {
 // isHotMarked reports whether the function's doc comment carries a
 // `//semsim:hot` marker line.
 func isHotMarked(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "semsim:hot" {
-			return true
-		}
-	}
-	return false
+	return docHasMarker(fd, "semsim:hot")
 }
 
 // hotallocWaivers collects the lines of f carrying a

@@ -9,3 +9,7 @@ func TestHotalloc(t *testing.T) {
 func TestHotallocOnlyFiresOnEventPath(t *testing.T) {
 	RunFixture(t, Hotalloc, "hotalloc/a")
 }
+
+func TestHotallocCoversBusPublish(t *testing.T) {
+	RunFixture(t, Hotalloc, "hotalloc/internal/obs")
+}

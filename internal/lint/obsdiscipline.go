@@ -35,9 +35,20 @@ import (
 // not on natively truncated builds), and loses the truncation
 // error-bound accounting. Every per-event C^-1 walk belongs on
 // circuit.Potentials.
+//
+// Independently of the hot set, the pass enforces the publish-path
+// contract in EVERY package: a function marked with a
+// `//semsim:publish` doc-comment line (the event bus's Publish and
+// push, the jobs engine's per-task publish hooks) promises to never
+// block on a subscriber. In such functions every channel send must be a
+// case of a select statement that has a default clause — the only form
+// Go guarantees cannot block. A bare `ch <- v`, or a send in a select
+// without a default, is reported. The marker is the enforcement
+// boundary: callees reachable from a publish path either carry the
+// marker themselves or take no channels at all.
 var Obsdiscipline = &Analyzer{
 	Name: "obsdiscipline",
-	Doc:  "forbid terminal printing and the log package in hot simulator packages (report through internal/obs)",
+	Doc:  "forbid terminal printing and the log package in hot simulator packages, and blocking channel sends in //semsim:publish functions",
 	Run:  runObsdiscipline,
 }
 
@@ -54,13 +65,21 @@ var obsHotPkgs = []string{
 	"internal/orthodox",
 	"internal/numeric",
 	"internal/sweep",
+	"internal/jobs",
 }
 
 func runObsdiscipline(pass *Pass) error {
-	if !pathHasSuffixAny(pass.Path, obsHotPkgs) {
-		return nil
-	}
+	hot := pathHasSuffixAny(pass.Path, obsHotPkgs)
 	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && docHasMarker(fd, "semsim:publish") {
+				checkPublishPath(pass, fd)
+			}
+		}
+		if !hot {
+			continue
+		}
 		for _, imp := range f.Imports {
 			p := strings.Trim(imp.Path.Value, `"`)
 			if p == "log" || p == "log/slog" {
@@ -113,6 +132,63 @@ func checkObsCall(pass *Pass, call *ast.CallExpr) {
 	case "log", "log/slog":
 		pass.Reportf(call.Pos(), "%s.%s in hot simulator package: report through internal/obs instead", obj.Pkg().Name(), obj.Name())
 	}
+}
+
+// docHasMarker reports whether the function's doc comment carries the
+// given `//semsim:*` marker as a line of its own.
+func docHasMarker(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPublishPath enforces the non-blocking contract of one
+// `//semsim:publish` function: every channel send in its body
+// (including nested function literals) must be a communication case of
+// a select statement that also has a default clause.
+func checkPublishPath(pass *Pass, fd *ast.FuncDecl) {
+	// First pass: collect the sends that are legal because their select
+	// has a default and therefore cannot block.
+	nonblocking := map[*ast.SendStmt]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				nonblocking[send] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok || nonblocking[send] {
+			return true
+		}
+		pass.Reportf(send.Pos(), "blocking channel send in publish path %s: a //semsim:publish function may only send inside a select with a default case", fd.Name.Name)
+		return true
+	})
 }
 
 // isStdStream reports whether e resolves to os.Stdout or os.Stderr.

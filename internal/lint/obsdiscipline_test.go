@@ -9,3 +9,11 @@ func TestObsdiscipline(t *testing.T) {
 func TestObsdisciplineOnlyFiresInHotPackages(t *testing.T) {
 	RunFixture(t, Obsdiscipline, "obsdiscipline/a")
 }
+
+func TestObsdisciplineCoversJobs(t *testing.T) {
+	RunFixture(t, Obsdiscipline, "obsdiscipline/internal/jobs")
+}
+
+func TestObsdisciplinePublishPaths(t *testing.T) {
+	RunFixture(t, Obsdiscipline, "obsdiscipline/publish")
+}

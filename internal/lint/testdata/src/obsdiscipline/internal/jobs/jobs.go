@@ -1,0 +1,20 @@
+// Package jobs mirrors the batch engine, which joined the quiet set
+// when it grew per-task publish paths: terminal printing is flagged,
+// while writes to a caller-supplied writer (the SSE stream, the follow
+// renderer) stay legal.
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func worker(id int) {
+	fmt.Printf("worker %d\n", id) // want "fmt.Printf in hot simulator package"
+	fmt.Fprintln(os.Stderr, "up") // want "fmt.Fprintln to a terminal stream in hot simulator package"
+}
+
+func stream(w io.Writer, seq uint64) {
+	fmt.Fprintf(w, "id: %d\n", seq) // the client's connection, not the terminal
+}

@@ -1,0 +1,56 @@
+// Package publish exercises the //semsim:publish non-blocking contract
+// OUTSIDE the hot package set: the rule follows the marker, not the
+// package path, so a marked function is checked anywhere in the module.
+package publish
+
+type hub struct {
+	notify chan struct{}
+	queue  chan int
+}
+
+// emit is the sanctioned shape: every send is a case of a select with a
+// default clause, so it can never block on a slow subscriber.
+//
+//semsim:publish
+func emit(h *hub, v int) {
+	select {
+	case h.queue <- v:
+	default:
+	}
+	select {
+	case h.notify <- struct{}{}:
+	default:
+	}
+}
+
+// emitBare sends directly — the canonical way to stall a publisher.
+//
+//semsim:publish
+func emitBare(h *hub, v int) {
+	h.queue <- v // want "blocking channel send in publish path emitBare"
+}
+
+// emitNoDefault selects over sends but has no default, so it still
+// blocks until some subscriber drains.
+//
+//semsim:publish
+func emitNoDefault(h *hub, v int) {
+	select {
+	case h.queue <- v: // want "blocking channel send in publish path emitNoDefault"
+	case h.notify <- struct{}{}: // want "blocking channel send in publish path emitNoDefault"
+	}
+}
+
+// emitNested hides the send in a function literal; the walk still finds
+// it.
+//
+//semsim:publish
+func emitNested(h *hub, v int) {
+	f := func() { h.queue <- v } // want "blocking channel send in publish path emitNested"
+	f()
+}
+
+// drainTo is unmarked: ordinary code may block on channels freely.
+func drainTo(h *hub, v int) {
+	h.queue <- v
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"sync"
+)
+
+// BusEvent is one record published on a Bus: a per-topic monotonic
+// sequence number (1-based; SSE clients echo it back as Last-Event-ID
+// to resume a stream), a short type tag (the SSE event name) and a
+// pre-rendered payload, typically one JSON object.
+type BusEvent struct {
+	// Seq orders the event within its topic, starting at 1.
+	Seq uint64
+	// Type tags the event for dispatch ("task_done", "progress", ...).
+	Type string
+	// Data is the payload, rendered by the publisher.
+	Data string
+}
+
+// Bus is a bounded fan-out event stream keyed by topic (one topic per
+// job). Its contract is that publishing NEVER blocks and NEVER waits on
+// a subscriber: each subscriber owns a fixed-size ring that overwrites
+// its oldest undelivered event when full, with every overwrite counted
+// against that subscriber — a stalled SSE client loses events (and is
+// told how many) instead of stalling the engine. Each topic also keeps
+// a bounded replay ring so a reconnecting subscriber can resume from
+// the last sequence number it saw, as long as the gap still fits the
+// ring.
+type Bus struct {
+	replayCap int
+	subCap    int
+
+	mu     sync.Mutex
+	topics map[string]*busTopic
+
+	// Optional registry handles (CountOn); nil when unwired.
+	published *Counter
+	dropped   *Counter
+}
+
+// busTopic is one topic's state: the next sequence number, the bounded
+// replay ring (oldest-first from start), and the live subscribers.
+type busTopic struct {
+	seq   uint64
+	ring  []BusEvent
+	start int // index of the oldest retained event
+	n     int
+	subs  map[*BusSub]struct{}
+}
+
+// NewBus creates a bus whose topics retain the most recent replayCap
+// events for reconnect replay and whose subscribers buffer up to subCap
+// undelivered events (minimums of 1; zero or negative values select the
+// defaults 1024 and 256).
+func NewBus(replayCap, subCap int) *Bus {
+	if replayCap <= 0 {
+		replayCap = 1024
+	}
+	if subCap <= 0 {
+		subCap = 256
+	}
+	return &Bus{
+		replayCap: replayCap,
+		subCap:    subCap,
+		topics:    map[string]*busTopic{},
+	}
+}
+
+// CountOn wires the bus to a metric registry: published counts every
+// Publish, dropped counts events lost to full subscriber rings (the
+// "slow client" signal on /metrics).
+func (b *Bus) CountOn(published, dropped *Counter) {
+	b.mu.Lock()
+	b.published = published
+	b.dropped = dropped
+	b.mu.Unlock()
+}
+
+func (b *Bus) topic(name string) *busTopic {
+	t := b.topics[name]
+	if t == nil {
+		t = &busTopic{subs: map[*BusSub]struct{}{}}
+		b.topics[name] = t
+	}
+	return t
+}
+
+// Publish appends one event to the topic and fans it out to every
+// subscriber, returning the assigned sequence number. It never blocks:
+// the replay ring and each subscriber ring overwrite their oldest entry
+// when full, and subscriber notification is a non-blocking signal.
+//
+//semsim:publish
+//semsim:hot
+func (b *Bus) Publish(topic, typ, data string) uint64 {
+	b.mu.Lock()
+	t := b.topic(topic)
+	t.seq++
+	ev := BusEvent{Seq: t.seq, Type: typ, Data: data}
+	if t.n < b.replayCap {
+		t.ring = append(t.ring, ev) //hotalloc:ok the replay ring grows once up to its cap, then overwrites in place
+		t.n++
+	} else {
+		t.ring[t.start] = ev
+		t.start = (t.start + 1) % b.replayCap
+	}
+	published, dropped := b.published, b.dropped
+	subs := t.subs
+	for s := range subs {
+		if s.push(ev) && dropped != nil {
+			dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+	if published != nil {
+		published.Add(1)
+	}
+	return ev.Seq
+}
+
+// Last returns the highest sequence number published on the topic (0
+// when nothing was published yet).
+func (b *Bus) Last(topic string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t := b.topics[topic]; t != nil {
+		return t.seq
+	}
+	return 0
+}
+
+// Subscribe registers a subscriber on the topic and replays every
+// retained event with Seq > after into its ring (pass 0 for "live tail
+// plus full retained history", or the last sequence number seen to
+// resume after a reconnect). Events older than the replay ring are
+// gone; the gap shows up as a jump in Seq, not as blocking. Close the
+// subscription when done.
+func (b *Bus) Subscribe(topic string, after uint64) *BusSub {
+	s := &BusSub{
+		bus:    b,
+		topic:  topic,
+		notify: make(chan struct{}, 1),
+		buf:    make([]BusEvent, b.subCap),
+	}
+	b.mu.Lock()
+	t := b.topic(topic)
+	for i := 0; i < t.n; i++ {
+		ev := t.ring[(t.start+i)%b.replayCap]
+		if ev.Seq > after {
+			s.push(ev)
+		}
+	}
+	t.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// BusSub is one subscription: a fixed-capacity ring of undelivered
+// events plus a drop count. All methods are safe for concurrent use
+// with the bus's publishers.
+type BusSub struct {
+	bus    *Bus
+	topic  string
+	notify chan struct{}
+
+	mu      sync.Mutex
+	buf     []BusEvent
+	start   int // index of the oldest undelivered event
+	n       int
+	dropped uint64
+	closed  bool
+}
+
+// push enqueues one event, overwriting the oldest undelivered one when
+// the ring is full, and signals the subscriber without blocking. It
+// reports whether an event was dropped.
+//
+//semsim:publish
+//semsim:hot
+func (s *BusSub) push(ev BusEvent) (dropped bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if s.n < len(s.buf) {
+		s.buf[(s.start+s.n)%len(s.buf)] = ev
+		s.n++
+	} else {
+		s.buf[s.start] = ev
+		s.start = (s.start + 1) % len(s.buf)
+		s.dropped++
+		dropped = true
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	return dropped
+}
+
+// Next pops the oldest undelivered event; ok is false when the ring is
+// empty (wait on Ready, then drain again).
+func (s *BusSub) Next() (ev BusEvent, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return BusEvent{}, false
+	}
+	ev = s.buf[s.start]
+	s.start = (s.start + 1) % len(s.buf)
+	s.n--
+	return ev, true
+}
+
+// Ready signals (at least once) after new events arrive; drain with
+// Next until it reports empty before waiting again.
+func (s *BusSub) Ready() <-chan struct{} { return s.notify }
+
+// Dropped returns how many events this subscriber has lost to ring
+// overflow since Subscribe (cumulative).
+func (s *BusSub) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close unregisters the subscription; pending events are discarded.
+func (s *BusSub) Close() {
+	s.bus.mu.Lock()
+	if t := s.bus.topics[s.topic]; t != nil {
+		delete(t.subs, s)
+	}
+	s.bus.mu.Unlock()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// drain pops everything currently buffered on the subscription.
+func drain(s *BusSub) []BusEvent {
+	var out []BusEvent
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+// Published events arrive in order with 1-based contiguous sequence
+// numbers, and multiple subscribers each see the full stream.
+func TestBusFanOutOrdered(t *testing.T) {
+	b := NewBus(16, 16)
+	s1 := b.Subscribe("j1", 0)
+	s2 := b.Subscribe("j1", 0)
+	defer s1.Close()
+	defer s2.Close()
+	for i := 0; i < 5; i++ {
+		b.Publish("j1", "tick", fmt.Sprintf("%d", i))
+	}
+	for _, s := range []*BusSub{s1, s2} {
+		evs := drain(s)
+		if len(evs) != 5 {
+			t.Fatalf("subscriber got %d events, want 5", len(evs))
+		}
+		for i, ev := range evs {
+			if ev.Seq != uint64(i+1) || ev.Data != fmt.Sprintf("%d", i) {
+				t.Fatalf("event %d = %+v", i, ev)
+			}
+		}
+	}
+	if last := b.Last("j1"); last != 5 {
+		t.Fatalf("Last = %d, want 5", last)
+	}
+	if last := b.Last("nosuch"); last != 0 {
+		t.Fatalf("Last(unknown) = %d, want 0", last)
+	}
+}
+
+// Topics are independent streams: a subscriber on one topic never sees
+// another topic's events, and sequence numbers are per topic.
+func TestBusTopicsIsolated(t *testing.T) {
+	b := NewBus(8, 8)
+	s := b.Subscribe("a", 0)
+	defer s.Close()
+	b.Publish("b", "x", "1")
+	b.Publish("a", "y", "2")
+	evs := drain(s)
+	if len(evs) != 1 || evs[0].Type != "y" || evs[0].Seq != 1 {
+		t.Fatalf("cross-topic leak: %+v", evs)
+	}
+}
+
+// A slow subscriber overflows its ring: the oldest undelivered events
+// are dropped and counted, the newest are retained, and publishing
+// never blocks.
+func TestBusSlowSubscriberDrops(t *testing.T) {
+	b := NewBus(64, 4)
+	pub := &Counter{}
+	drop := &Counter{}
+	b.CountOn(pub, drop)
+	s := b.Subscribe("j1", 0)
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish("j1", "tick", fmt.Sprintf("%d", i))
+	}
+	if got := s.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := drain(s)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// The newest four survive: seqs 7..10.
+	for i, ev := range evs {
+		if ev.Seq != uint64(7+i) {
+			t.Fatalf("retained event %d has seq %d, want %d", i, ev.Seq, 7+i)
+		}
+	}
+	if pub.Value() != 10 || drop.Value() != 6 {
+		t.Fatalf("registry counters published=%d dropped=%d, want 10/6", pub.Value(), drop.Value())
+	}
+}
+
+// Subscribe(after) replays only the retained events newer than after —
+// the Last-Event-ID reconnect path.
+func TestBusReplayAfter(t *testing.T) {
+	b := NewBus(4, 16)
+	for i := 0; i < 10; i++ {
+		b.Publish("j1", "tick", fmt.Sprintf("%d", i))
+	}
+	// Replay ring holds seqs 7..10. A client that saw up to 8 gets 9, 10.
+	s := b.Subscribe("j1", 8)
+	defer s.Close()
+	evs := drain(s)
+	if len(evs) != 2 || evs[0].Seq != 9 || evs[1].Seq != 10 {
+		t.Fatalf("replay after 8 = %+v, want seqs 9,10", evs)
+	}
+	// A client too far behind gets whatever the ring still holds; the
+	// seq jump (3 -> 7) tells it events were lost.
+	s2 := b.Subscribe("j1", 3)
+	defer s2.Close()
+	evs = drain(s2)
+	if len(evs) != 4 || evs[0].Seq != 7 {
+		t.Fatalf("replay after 3 = %+v, want seqs 7..10", evs)
+	}
+	// Live events still follow replayed ones.
+	b.Publish("j1", "tick", "10")
+	evs = drain(s)
+	if len(evs) != 1 || evs[0].Seq != 11 {
+		t.Fatalf("live after replay = %+v", evs)
+	}
+}
+
+// A closed subscription stops receiving and publishing to it is safe.
+func TestBusCloseUnsubscribes(t *testing.T) {
+	b := NewBus(8, 8)
+	s := b.Subscribe("j1", 0)
+	s.Close()
+	b.Publish("j1", "tick", "1")
+	if evs := drain(s); len(evs) != 0 {
+		t.Fatalf("closed subscription received %+v", evs)
+	}
+}
+
+// Ready wakes a waiting consumer; the drain-then-wait loop sees every
+// event exactly once under concurrent publishing.
+func TestBusConcurrentPublishConsume(t *testing.T) {
+	b := NewBus(1024, 1024)
+	s := b.Subscribe("j1", 0)
+	defer s.Close()
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			b.Publish("j1", "tick", "x")
+		}
+	}()
+	seen := 0
+	for seen < n {
+		<-s.Ready()
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			seen++
+		}
+	}
+	wg.Wait()
+	if d := s.Dropped(); d != 0 {
+		t.Fatalf("dropped %d events with ample buffer", d)
+	}
+}

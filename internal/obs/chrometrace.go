@@ -41,19 +41,27 @@ func (j *Journal) WriteChromeTrace(w io.Writer) error {
 	}
 	j.mu.Lock()
 	names := append([]string(nil), j.names...)
+	dropped := j.dropped
 	j.mu.Unlock()
-	return writeChromeTrace(w, j.Events(), names)
+	return writeChromeTrace(w, j.Events(), names, dropped)
 }
 
 // writeChromeTrace is the pure core (unit-tested against a golden
-// file): it depends only on its inputs.
-func writeChromeTrace(w io.Writer, events []Event, spanNames []string) error {
+// file): it depends only on its inputs. A non-zero dropped count — the
+// ring overwrote that many events before this export — is surfaced as a
+// journal_dropped instant so a truncated trace can never pass for a
+// complete one.
+func writeChromeTrace(w io.Writer, events []Event, spanNames []string, dropped uint64) error {
 	bw := bufio.NewWriter(w)
 	io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
 	fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"simulated time (1 ns = 1 us shown)"}}`,
 		chromePID, chromeSimTID)
 	fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"wall clock\"}}",
 		chromePID, chromeWallTID)
+	if dropped > 0 {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"name\":\"journal_dropped\",\"cat\":\"meta\",\"s\":\"g\",\"ts\":0,\"args\":{\"dropped_events\":%d,\"note\":\"ring overwrote oldest events; this trace is the most recent window\"}}",
+			chromePID, chromeWallTID, dropped)
+	}
 	for i := range events {
 		io.WriteString(bw, ",\n")
 		writeChromeEvent(bw, &events[i], spanNames)

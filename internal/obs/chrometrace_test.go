@@ -36,7 +36,7 @@ func fixedTraceEvents() ([]Event, []string) {
 func TestChromeTraceGolden(t *testing.T) {
 	events, names := fixedTraceEvents()
 	var buf bytes.Buffer
-	if err := writeChromeTrace(&buf, events, names); err != nil {
+	if err := writeChromeTrace(&buf, events, names, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -63,7 +63,7 @@ func TestChromeTraceGolden(t *testing.T) {
 func TestChromeTraceWellFormed(t *testing.T) {
 	events, names := fixedTraceEvents()
 	var buf bytes.Buffer
-	if err := writeChromeTrace(&buf, events, names); err != nil {
+	if err := writeChromeTrace(&buf, events, names, 0); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {

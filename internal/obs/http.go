@@ -43,6 +43,17 @@ func Handler(o *Observer) http.Handler {
 </ul></body></html>`)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Content negotiation: the stable JSON snapshot stays the default;
+		// Prometheus scrapers (Accept: text/plain or openmetrics, or an
+		// explicit ?format=prometheus) get the text exposition.
+		if WantsPrometheus(r) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			if err := o.Registry().WritePrometheus(w); err != nil {
+				// The client hung up mid-response; nothing to clean up.
+				return
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := o.Registry().WriteJSON(w); err != nil {
 			// The client hung up mid-response; nothing to clean up.

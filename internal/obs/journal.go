@@ -40,9 +40,101 @@ const (
 	// duration in nanoseconds.
 	KindSpan
 	// KindProgress is a periodic progress sample emitted by a Progress
-	// reporter: V1 events so far, V2 events/s.
+	// reporter: V1 events so far, V2 events/s. In a batch job lane the
+	// same kind carries V1 tasks done, V2 events/s across the job.
 	KindProgress
+	// KindTaskRun is one completed (point, run) batch task execution:
+	// Junc the sweep-point index, A the run index, B the outcome code
+	// (see TaskOutcome*), V1 the events applied by this execution,
+	// Wall/Dur the start offset and duration in nanoseconds.
+	KindTaskRun
+	// KindCkptWrite is one checkpoint persistence: Junc the point, A the
+	// run, V1 the bytes written, V2 the fsync nanoseconds, Wall/Dur the
+	// start offset and total write duration.
+	KindCkptWrite
+	// KindTaskRetry is a bounded-backoff retry decision: Junc the point,
+	// A the run, B the attempt number being retried, V1 the backoff
+	// delay in seconds, V2 the error class code (see ErrClass*).
+	KindTaskRetry
+	// KindTaskResume marks a task picking up a persisted checkpoint:
+	// Junc the point, A the run, V1 the events already applied at the
+	// resume point (0 when the checkpoint was a done marker).
+	KindTaskResume
+	// KindJobState is a job lifecycle transition recorded in a job lane:
+	// A the state code (see JobState*).
+	KindJobState
 )
+
+// Task outcome codes carried by KindTaskRun events (field B).
+const (
+	// TaskOutcomeDone marks a task that completed and produced a result.
+	TaskOutcomeDone = 0
+	// TaskOutcomeFailed marks a task that ended with an error.
+	TaskOutcomeFailed = 1
+	// TaskOutcomeInterrupted marks a task stopped by a drain after
+	// persisting a resumable checkpoint.
+	TaskOutcomeInterrupted = 2
+)
+
+// Error class codes carried by KindTaskRetry events (field V2).
+const (
+	// ErrClassOther is any error without a more specific class.
+	ErrClassOther = 0
+	// ErrClassCheckpointIO is transient checkpoint I/O (the retryable
+	// class).
+	ErrClassCheckpointIO = 1
+	// ErrClassCanceled is a context cancellation.
+	ErrClassCanceled = 2
+	// ErrClassTimeout is a job deadline expiry.
+	ErrClassTimeout = 3
+)
+
+// Job state codes carried by KindJobState events (field A). They mirror
+// the jobs engine's lifecycle: queued -> running -> checkpointing ->
+// one of the terminal states.
+const (
+	// JobStateQueued marks submission.
+	JobStateQueued = 0
+	// JobStateRunning marks the first task starting.
+	JobStateRunning = 1
+	// JobStateCheckpoint marks a checkpoint being persisted.
+	JobStateCheckpoint = 2
+	// JobStateDone marks successful completion.
+	JobStateDone = 3
+	// JobStateFailed marks terminal failure.
+	JobStateFailed = 4
+	// JobStateCanceled marks cancellation or timeout.
+	JobStateCanceled = 5
+	// JobStateInterrupted marks a drain with resumable checkpoints.
+	JobStateInterrupted = 6
+)
+
+// taskOutcomeNames, errClassNames and jobStateNames label the small
+// integer codes in exports.
+var (
+	taskOutcomeNames = [...]string{"done", "failed", "interrupted"}
+	errClassNames    = [...]string{"other", "checkpoint-io", "canceled", "timeout"}
+	jobStateNames    = [...]string{"queued", "running", "checkpoint", "done", "failed", "canceled", "interrupted"}
+)
+
+// codeName resolves a small code against its name table.
+func codeName(names []string, code int) string {
+	if code >= 0 && code < len(names) {
+		return names[code]
+	}
+	return fmt.Sprintf("code#%d", code)
+}
+
+// TaskOutcomeName names a TaskOutcome code ("done", "failed",
+// "interrupted").
+func TaskOutcomeName(code int) string { return codeName(taskOutcomeNames[:], code) }
+
+// ErrClassName names an ErrClass code ("other", "checkpoint-io",
+// "canceled", "timeout").
+func ErrClassName(code int) string { return codeName(errClassNames[:], code) }
+
+// JobStateName names a JobState code ("queued" through "interrupted").
+func JobStateName(code int) string { return codeName(jobStateNames[:], code) }
 
 // String names the kind for exports.
 func (k Kind) String() string {
@@ -67,6 +159,16 @@ func (k Kind) String() string {
 		return "span"
 	case KindProgress:
 		return "progress"
+	case KindTaskRun:
+		return "taskRun"
+	case KindCkptWrite:
+		return "checkpointWrite"
+	case KindTaskRetry:
+		return "taskRetry"
+	case KindTaskResume:
+		return "taskResume"
+	case KindJobState:
+		return "jobState"
 	}
 	return "unknown"
 }
@@ -91,11 +193,13 @@ type Event struct {
 // that receives every event as it is recorded (unbounded, for offline
 // analysis). All methods are safe for concurrent use.
 type Journal struct {
-	mu    sync.Mutex
-	ring  []Event
-	total uint64 // events ever recorded
-	names []string
-	sink  *bufio.Writer
+	mu      sync.Mutex
+	ring    []Event
+	total   uint64 // events ever recorded
+	dropped uint64 // events the ring has overwritten (total - retained)
+	dropCtr *Counter
+	names   []string
+	sink    *bufio.Writer
 }
 
 // NewJournal creates a journal holding the most recent cap events
@@ -112,14 +216,31 @@ func NewJournal(cap int, sink io.Writer) *Journal {
 	return j
 }
 
+// CountDrops mirrors the journal's dropped-event count into a registry
+// counter, so silent ring truncation shows up on /metrics (nil-safe).
+func (j *Journal) CountDrops(c *Counter) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.dropCtr = c
+	j.mu.Unlock()
+}
+
 // Record appends one event, overwriting the oldest once the ring is
-// full.
+// full. Overwrites are never silent: they accumulate in Dropped (and
+// the CountDrops registry counter), and trace exports carry a
+// journal_dropped note when any occurred.
 func (j *Journal) Record(e Event) {
 	j.mu.Lock()
 	if len(j.ring) < cap(j.ring) {
 		j.ring = append(j.ring, e)
 	} else {
 		j.ring[int(j.total)%cap(j.ring)] = e
+		j.dropped++
+		if j.dropCtr != nil {
+			j.dropCtr.Add(1)
+		}
 	}
 	j.total++
 	if j.sink != nil {
@@ -142,6 +263,10 @@ func (j *Journal) internName(name string) int32 {
 	return int32(len(j.names) - 1)
 }
 
+// InternName maps a span name to its stable small id for callers that
+// build KindSpan events directly (the Span API does this internally).
+func (j *Journal) InternName(name string) int32 { return j.internName(name) }
+
 // SpanName resolves an interned span name id.
 func (j *Journal) SpanName(id int32) string {
 	j.mu.Lock()
@@ -158,6 +283,17 @@ func (j *Journal) Total() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.total
+}
+
+// Dropped returns how many recorded events the bounded ring has
+// overwritten — events absent from Events and every export built on it.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
 }
 
 // Events returns the retained events in recording order (oldest first).

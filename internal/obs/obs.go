@@ -83,6 +83,9 @@ func New(cfg Config) *Observer {
 			capN = 1 << 16
 		}
 		o.journal = NewJournal(capN, cfg.TraceJSONL)
+		// Ring wraparound must never be silent: the registry counts every
+		// overwritten event, and trace exports carry a journal_dropped note.
+		o.journal.CountDrops(o.reg.Counter("obs.journal_dropped_events"))
 	}
 	o.events = o.reg.Counter("solver.events")
 	o.cotunnelEvents = o.reg.Counter("solver.cotunnel_events")

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the metric registry,
+// standard library only. The same registry snapshot that serves the
+// stable JSON form renders here as scrapeable text:
+//
+//   - counters become `<name>_total` with `# TYPE ... counter`;
+//   - gauges (including GaugeFunc samples) become gauges;
+//   - histograms become the conventional cumulative `_bucket{le="..."}`
+//     series plus `_sum` and `_count`.
+//
+// Metric names are sanitized to the Prometheus grammar (dots and every
+// other illegal rune map to '_'), and series are emitted in sorted name
+// order, so identical registries produce identical bytes.
+
+// PrometheusContentType is the Content-Type of the text exposition.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name into the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float64 the way Prometheus parsers expect,
+// including the +Inf/-Inf/NaN spellings.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus writes the current snapshot of every metric in the
+// Prometheus text exposition format (nil-safe: a nil registry writes
+// nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		// Buckets are cumulative in the exposition; the registry stores
+		// per-bucket counts with an implicit +Inf overflow bucket last.
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum)
+		}
+		cum += h.Buckets[len(h.Buckets)-1]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+	}
+	return bw.Flush()
+}
+
+// WantsPrometheus decides which /metrics representation a request asked
+// for. The JSON snapshot stays the default (it predates this format and
+// tools parse it); Prometheus text is chosen by an explicit
+// `?format=prometheus` query, or an Accept header that mentions the
+// text exposition or OpenMetrics — which is exactly what a Prometheus
+// scraper sends — without mentioning JSON first.
+func WantsPrometheus(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	if strings.Contains(accept, "application/openmetrics-text") {
+		return true
+	}
+	jsonAt := strings.Index(accept, "application/json")
+	textAt := strings.Index(accept, "text/plain")
+	if textAt < 0 {
+		return false
+	}
+	return jsonAt < 0 || textAt < jsonAt
+}

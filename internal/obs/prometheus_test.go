@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The text exposition covers every metric class with sanitized names,
+// cumulative buckets and deterministic ordering.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solver.events").Add(42)
+	r.Gauge("solver.sim_time_s").Set(1.5e-9)
+	r.GaugeFunc("runtime.goroutines", func() float64 { return 7 })
+	h := r.Histogram("jobs.checkpoint_bytes", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE solver_events_total counter\nsolver_events_total 42\n",
+		"# TYPE solver_sim_time_s gauge\nsolver_sim_time_s 1.5e-09\n",
+		"runtime_goroutines 7\n",
+		"# TYPE jobs_checkpoint_bytes histogram\n",
+		`jobs_checkpoint_bytes_bucket{le="10"} 1`,
+		`jobs_checkpoint_bytes_bucket{le="100"} 2`,
+		`jobs_checkpoint_bytes_bucket{le="+Inf"} 3`,
+		"jobs_checkpoint_bytes_sum 5055\n",
+		"jobs_checkpoint_bytes_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Deterministic: a second snapshot of the same registry is identical.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("exposition is not deterministic")
+	}
+
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"solver.events":   "solver_events",
+		"span.sweep.ns":   "span_sweep_ns",
+		"a-b c":           "a_b_c",
+		"0day":            "_0day",
+		"already_legal:x": "already_legal:x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// /metrics negotiates: JSON by default, Prometheus text for scrapers.
+func TestMetricsContentNegotiation(t *testing.T) {
+	o := New(Config{})
+	o.Event(KindTunnel, 1, 1e-9, -1e-21)
+	h := Handler(o)
+
+	get := func(target, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Default (curl, browsers): the stable JSON snapshot.
+	rec := get("/metrics", "")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte(`"counters"`)) {
+		t.Fatalf("default body is not the JSON snapshot:\n%s", rec.Body.String())
+	}
+
+	// A Prometheus scrape Accept header selects the text exposition.
+	scrape := "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5,*/*;q=0.1"
+	rec = get("/metrics", scrape)
+	if ct := rec.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("scrape Content-Type = %q", ct)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("solver_events_total 1")) {
+		t.Fatalf("scrape body is not the text exposition:\n%s", rec.Body.String())
+	}
+
+	// Explicit query overrides win in both directions.
+	if rec := get("/metrics?format=prometheus", "application/json"); !bytes.Contains(rec.Body.Bytes(), []byte("_total")) {
+		t.Fatal("?format=prometheus ignored")
+	}
+	if rec := get("/metrics?format=json", "text/plain"); !bytes.Contains(rec.Body.Bytes(), []byte(`"counters"`)) {
+		t.Fatal("?format=json ignored")
+	}
+
+	// JSON listed before text/plain keeps JSON.
+	if rec := get("/metrics", "application/json, text/plain;q=0.5"); !bytes.Contains(rec.Body.Bytes(), []byte(`"counters"`)) {
+		t.Fatal("Accept preferring JSON served text")
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Merged Chrome trace export for batch jobs: a job runs as N worker
+// goroutines each recording into its own Journal (lock-free with
+// respect to the others), plus one job-level lane for lifecycle
+// transitions. The merger folds those per-worker journals into a single
+// trace_event JSON document with one named thread lane per journal, so
+// chrome://tracing / Perfetto shows the whole batch — task spans per
+// worker, checkpoint writes, retries, resumes and job state changes —
+// on one synchronized wall-clock timeline.
+//
+// All merged events are placed on the wall clock (ns offsets from each
+// journal's epoch, rendered as trace microseconds). Journals of one job
+// share the engine observer's epoch, so lanes line up.
+
+// TraceLane is one thread lane of a merged trace: a snapshot of one
+// journal (or any event slice) plus the metadata needed to render it.
+type TraceLane struct {
+	// Name labels the lane (e.g. "job", "worker 0").
+	Name string
+	// Events are the lane's journal events in recording order.
+	Events []Event
+	// SpanNames resolves interned KindSpan name ids.
+	SpanNames []string
+	// Dropped is how many events the lane's bounded ring overwrote; a
+	// non-zero value adds a journal_dropped note to the lane.
+	Dropped uint64
+}
+
+// Lane snapshots the journal as a merged-trace lane (nil-safe: a nil
+// journal yields an empty lane, so disabled lanes render as empty
+// threads rather than panicking).
+func (j *Journal) Lane(name string) TraceLane {
+	if j == nil {
+		return TraceLane{Name: name}
+	}
+	j.mu.Lock()
+	names := append([]string(nil), j.names...)
+	dropped := j.dropped
+	j.mu.Unlock()
+	return TraceLane{Name: name, Events: j.Events(), SpanNames: names, Dropped: dropped}
+}
+
+// WriteMergedChromeTrace writes lanes as one Chrome trace_event JSON
+// document: pid 1, tid = lane index + 1, with a thread_name metadata
+// record per lane. Identical lane snapshots produce identical bytes.
+func WriteMergedChromeTrace(w io.Writer, lanes []TraceLane) error {
+	bw := bufio.NewWriter(w)
+	io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			io.WriteString(bw, ",\n")
+		}
+		first = false
+	}
+	for i, lane := range lanes {
+		tid := i + 1
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+			chromePID, tid, lane.Name)
+		if lane.Dropped > 0 {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"i","pid":%d,"tid":%d,"name":"journal_dropped","cat":"meta","s":"t","ts":0,"args":{"dropped_events":%d,"note":"lane ring overwrote oldest events"}}`,
+				chromePID, tid, lane.Dropped)
+		}
+		for k := range lane.Events {
+			sep()
+			writeMergedEvent(bw, tid, &lane.Events[k], lane.SpanNames)
+		}
+	}
+	io.WriteString(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+// wallTS converts a journal wall offset (ns) to trace microseconds.
+func wallTS(wallNS int64) float64 { return float64(wallNS) / 1e3 }
+
+// writeMergedEvent renders one journal event into a lane. Unlike the
+// single-run export (which splits simulated time and wall clock into
+// two fixed threads), every merged event sits on its lane at its
+// wall-clock offset; simulated time, where meaningful, rides along in
+// args.
+func writeMergedEvent(w io.Writer, tid int, e *Event, spanNames []string) {
+	switch e.Kind {
+	case KindSpan:
+		name := fmt.Sprintf("span#%d", e.Junc)
+		if int(e.Junc) >= 0 && int(e.Junc) < len(spanNames) {
+			name = spanNames[e.Junc]
+		}
+		fmt.Fprintf(w, `{"ph":"X","pid":%d,"tid":%d,"name":%q,"cat":"span","ts":%.3f,"dur":%.3f,"args":{"sim_s":%g}}`,
+			chromePID, tid, name, wallTS(e.Wall), wallTS(e.Dur), e.Sim)
+	case KindTaskRun:
+		fmt.Fprintf(w, `{"ph":"X","pid":%d,"tid":%d,"name":"task p%d r%d","cat":"task","ts":%.3f,"dur":%.3f,"args":{"point":%d,"run":%d,"outcome":%q,"events":%g}}`,
+			chromePID, tid, e.Junc, e.A, wallTS(e.Wall), wallTS(e.Dur),
+			e.Junc, e.A, codeName(taskOutcomeNames[:], int(e.B)), e.V1)
+	case KindCkptWrite:
+		fmt.Fprintf(w, `{"ph":"X","pid":%d,"tid":%d,"name":"checkpoint p%d r%d","cat":"checkpoint","ts":%.3f,"dur":%.3f,"args":{"point":%d,"run":%d,"bytes":%g,"fsync_ns":%g}}`,
+			chromePID, tid, e.Junc, e.A, wallTS(e.Wall), wallTS(e.Dur),
+			e.Junc, e.A, e.V1, e.V2)
+	case KindTaskRetry:
+		fmt.Fprintf(w, `{"ph":"i","pid":%d,"tid":%d,"name":"retry p%d r%d","cat":"retry","s":"t","ts":%.3f,"args":{"point":%d,"run":%d,"attempt":%d,"delay_s":%g,"error_class":%q}}`,
+			chromePID, tid, e.Junc, e.A, wallTS(e.Wall),
+			e.Junc, e.A, e.B, e.V1, codeName(errClassNames[:], int(e.V2)))
+	case KindTaskResume:
+		fmt.Fprintf(w, `{"ph":"i","pid":%d,"tid":%d,"name":"resume p%d r%d","cat":"resume","s":"t","ts":%.3f,"args":{"point":%d,"run":%d,"events_at_resume":%g}}`,
+			chromePID, tid, e.Junc, e.A, wallTS(e.Wall), e.Junc, e.A, e.V1)
+	case KindJobState:
+		fmt.Fprintf(w, `{"ph":"i","pid":%d,"tid":%d,"name":"state: %s","cat":"job","s":"t","ts":%.3f,"args":{"state":%q}}`,
+			chromePID, tid, codeName(jobStateNames[:], int(e.A)), wallTS(e.Wall),
+			codeName(jobStateNames[:], int(e.A)))
+	case KindProgress:
+		fmt.Fprintf(w, `{"ph":"C","pid":%d,"name":"tasks_done","ts":%.3f,"args":{"done":%g}}`,
+			chromePID, wallTS(e.Wall), e.V1)
+		fmt.Fprintf(w, ",\n{\"ph\":\"C\",\"pid\":%d,\"name\":\"events_per_sec\",\"ts\":%.3f,\"args\":{\"rate\":%g}}",
+			chromePID, wallTS(e.Wall), e.V2)
+	default:
+		// Solver-level kinds (tunnel, adaptive, fenwick, ...) can appear
+		// when a worker journal doubles as a solver journal; render them
+		// as generic instants on the lane's wall clock.
+		fmt.Fprintf(w, `{"ph":"i","pid":%d,"tid":%d,"name":%q,"cat":"event","s":"t","ts":%.3f,"args":{"sim_s":%g,"junction":%d}}`,
+			chromePID, tid, e.Kind.String(), wallTS(e.Wall), e.Sim, e.Junc)
+	}
+}

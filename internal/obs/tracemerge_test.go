@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The merged export must load in chrome://tracing: valid JSON, one
+// thread_name metadata record per lane, task spans on the right tids.
+func TestMergedChromeTraceWellFormed(t *testing.T) {
+	job := NewJournal(16, nil)
+	job.Record(Event{Kind: KindJobState, A: JobStateQueued, Wall: 0})
+	job.Record(Event{Kind: KindJobState, A: JobStateRunning, Wall: 100})
+	job.Record(Event{Kind: KindProgress, V1: 2, V2: 125000, Wall: 5000})
+	job.Record(Event{Kind: KindJobState, A: JobStateDone, Wall: 9000})
+
+	w0 := NewJournal(16, nil)
+	w0.Record(Event{Kind: KindTaskResume, Junc: 0, A: 0, V1: 500, Wall: 150})
+	w0.Record(Event{Kind: KindTaskRun, Junc: 0, A: 0, B: TaskOutcomeDone, V1: 1500, Wall: 150, Dur: 4000})
+	w0.Record(Event{Kind: KindCkptWrite, Junc: 0, A: 0, V1: 2048, V2: 1200, Wall: 3000, Dur: 2000})
+
+	w1 := NewJournal(16, nil)
+	w1.Record(Event{Kind: KindTaskRetry, Junc: 1, A: 0, B: 1, V1: 0.05, V2: ErrClassCheckpointIO, Wall: 2000})
+	w1.Record(Event{Kind: KindTaskRun, Junc: 1, A: 0, B: TaskOutcomeFailed, V1: 900, Wall: 2100, Dur: 3000})
+
+	lanes := []TraceLane{job.Lane("job"), w0.Lane("worker 0"), w1.Lane("worker 1")}
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, lanes); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged export is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var meta, spans int
+	laneNames := map[string]float64{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+			args := ev["args"].(map[string]any)
+			laneNames[args["name"].(string)] = ev["tid"].(float64)
+		case "X":
+			spans++
+		}
+	}
+	if meta != 3 {
+		t.Fatalf("thread_name records = %d, want 3", meta)
+	}
+	// task + checkpoint spans on worker 0, task span on worker 1.
+	if spans != 3 {
+		t.Fatalf("X spans = %d, want 3", spans)
+	}
+	for name, tid := range map[string]float64{"job": 1, "worker 0": 2, "worker 1": 3} {
+		if laneNames[name] != tid {
+			t.Fatalf("lane %q tid = %v, want %v (lanes: %v)", name, laneNames[name], tid, laneNames)
+		}
+	}
+	for _, want := range []string{
+		`"state":"queued"`, `"state":"done"`,
+		`"outcome":"done"`, `"outcome":"failed"`,
+		`"error_class":"checkpoint-io"`,
+		`"events_at_resume":500`,
+		`"bytes":2048`,
+		`"name":"tasks_done"`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("merged trace missing %s:\n%s", want, buf.String())
+		}
+	}
+
+	// Deterministic bytes.
+	var buf2 bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf2, lanes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("merged export is not deterministic")
+	}
+}
+
+// A lane whose ring overwrote events carries a journal_dropped note; a
+// nil journal renders as an empty named lane.
+func TestMergedChromeTraceDroppedAndNil(t *testing.T) {
+	j := NewJournal(2, nil)
+	for i := 0; i < 5; i++ {
+		j.Record(Event{Kind: KindTaskRun, Junc: int32(i), Wall: int64(i)})
+	}
+	if got := j.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	var nilJ *Journal
+	lanes := []TraceLane{j.Lane("busy"), nilJ.Lane("idle")}
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, lanes); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name":"journal_dropped"`) ||
+		!strings.Contains(buf.String(), `"dropped_events":3`) {
+		t.Fatalf("dropped note missing:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"name":"idle"`) {
+		t.Fatalf("nil-journal lane missing:\n%s", buf.String())
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON:\n%s", buf.String())
+	}
+}
+
+// Drop accounting flows into the registry counter and the single-run
+// Chrome export's note.
+func TestJournalDropAccounting(t *testing.T) {
+	r := NewRegistry()
+	j := NewJournal(4, nil)
+	j.CountDrops(r.Counter("obs.journal_dropped_events"))
+	for i := 0; i < 10; i++ {
+		j.Record(Event{Kind: KindTunnel, Junc: 1, Wall: int64(i)})
+	}
+	if got := j.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	if got := r.Snapshot().Counters["obs.journal_dropped_events"]; got != 6 {
+		t.Fatalf("registry dropped counter = %d, want 6", got)
+	}
+	var buf bytes.Buffer
+	if err := j.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"journal_dropped"`) ||
+		!strings.Contains(buf.String(), `"dropped_events":6`) {
+		t.Fatalf("chrome export missing dropped note:\n%s", buf.String())
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON with dropped note:\n%s", buf.String())
+	}
+}
