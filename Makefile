@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test unit race bench zero-alloc rate-engine bench-compare potential-engine obs-overhead experiments quick-experiments fmt vet lint debug fuzz docs-verify
+.PHONY: all build test unit race bench zero-alloc rate-engine bench-compare potential-engine obs-overhead sweep-engine experiments quick-experiments fmt vet lint debug fuzz docs-verify
 
 all: build test
 
@@ -74,6 +74,15 @@ potential-engine:
 obs-overhead:
 	go run ./cmd/experiments obs-overhead
 	go run ./cmd/benchcmp -obs results/BENCH_obs_overhead.json
+
+# Amortized sweep-engine benchmark (compile-once session reuse vs
+# per-point rebuild on a 64x64 c1908 map; adaptive mesh refinement vs
+# a uniform fine SET diamond lattice)
+# -> results/BENCH_sweep_engine.json, then gate it: >= 5x points/s from
+# session reuse and >= 4x fewer simulated points from refinement.
+sweep-engine:
+	go run ./cmd/experiments sweep-engine
+	go run ./cmd/benchcmp -sweep results/BENCH_sweep_engine.json
 
 # Regenerate every figure of the paper into ./results (see
 # EXPERIMENTS.md). The full run takes hours on one core; use

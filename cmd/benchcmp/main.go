@@ -10,6 +10,12 @@
 //	                            always-on modes (metrics, jobmetrics)
 //	                            must cost < 5% and every mode must have
 //	                            run the identical trajectory
+//	benchcmp -sweep SNAP.json   gate a sweep-engine snapshot: the
+//	                            compile-once session path must be >= 5x
+//	                            the per-point rebuild path in points/s,
+//	                            and adaptive refinement must simulate
+//	                            >= 4x fewer points than the uniform
+//	                            fine lattice
 //
 // With two files it prints old vs new events/s and the speedup for
 // every (benchmark, mode, workers, kernel) configuration, matching rows
@@ -38,6 +44,14 @@ func main() {
 // relative to a bare solver run.
 const obsBudgetPct = 5.0
 
+// Sweep-engine floors: compile-once reuse must beat per-point rebuild
+// by sweepMinSpeedup in points/s, and refinement must simulate
+// sweepMinSavings times fewer points than the uniform fine lattice.
+const (
+	sweepMinSpeedup = 5.0
+	sweepMinSavings = 4.0
+)
+
 func run(args []string) error {
 	if len(args) >= 1 && args[0] == "-obs" {
 		if len(args) != 2 {
@@ -45,8 +59,14 @@ func run(args []string) error {
 		}
 		return gateObs(args[1])
 	}
+	if len(args) >= 1 && args[0] == "-sweep" {
+		if len(args) != 2 {
+			return fmt.Errorf("usage: benchcmp -sweep SNAP.json")
+		}
+		return gateSweep(args[1])
+	}
 	if len(args) < 1 || len(args) > 2 {
-		return fmt.Errorf("usage: benchcmp [-obs] [OLD.json] NEW.json")
+		return fmt.Errorf("usage: benchcmp [-obs|-sweep] [OLD.json] NEW.json")
 	}
 	newest, err := bench.LoadRateEngineReports(args[len(args)-1])
 	if err != nil {
@@ -86,5 +106,29 @@ func gateObs(path string) error {
 		return fmt.Errorf("observability overhead gate failed (%d violation(s))", len(bad))
 	}
 	fmt.Printf("always-on observability under the %.0f%% budget, trajectories identical\n", obsBudgetPct)
+	return nil
+}
+
+// gateSweep applies the amortized-sweep floors to a sweep-engine
+// snapshot — the gate behind `make sweep-engine` and CI.
+func gateSweep(path string) error {
+	rep, err := bench.LoadSweepEngineReport(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %dx%d map: amortized %.1f points/s, rebuild %.2f points/s (%.1fx)\n",
+		rep.Benchmark, rep.GridX, rep.GridY,
+		rep.AmortizedPointsPerSec, rep.RebuildPointsPerSec, rep.SpeedupX)
+	fmt.Printf("%s refine depth %d: %d of %d lattice points simulated (%.1fx saving)\n",
+		rep.RefineCircuit, rep.RefineDepth,
+		rep.SimulatedPoints, rep.LatticePoints, rep.RefineSavingsX)
+	if bad := bench.CheckSweepEngine(rep, sweepMinSpeedup, sweepMinSavings); len(bad) > 0 {
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", m)
+		}
+		return fmt.Errorf("sweep-engine floors violated (%d violation(s))", len(bad))
+	}
+	fmt.Printf("amortized sweep engine above its floors (%.0fx speedup, %.0fx refinement saving)\n",
+		sweepMinSpeedup, sweepMinSavings)
 	return nil
 }

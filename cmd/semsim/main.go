@@ -156,13 +156,21 @@ func main() {
 	fmt.Fprintf(w, "# semsim run of %s\n", name)
 	fmt.Fprintf(w, "# temp=%g K adaptive=%v cotunnel=%v jumps=%d\n",
 		deck.Spec.Temp, deck.Spec.Adaptive, deck.Spec.Cotunnel, deck.Spec.Jumps)
-	fmt.Fprintf(w, "# columns: Vsweep")
+	isMap := deck.Spec.Map != nil
+	if isMap {
+		fmt.Fprintf(w, "# columns: Vx Vy")
+	} else {
+		fmt.Fprintf(w, "# columns: Vsweep")
+	}
 	for _, j := range juncs {
 		fmt.Fprintf(w, " I(junc%d)", j)
 	}
 	fmt.Fprintln(w)
 	for _, p := range pts {
 		fmt.Fprintf(w, "%.8g", p.SweepV)
+		if isMap {
+			fmt.Fprintf(w, " %.8g", p.Y)
+		}
 		for _, j := range juncs {
 			fmt.Fprintf(w, " %.6e", p.Current[j])
 		}

@@ -56,12 +56,13 @@ func main() {
 	every := flag.Int("checkpoint-every", 0, "target events between checkpoints (0 = default; rounded up to the solver refresh period)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock timeout (0 = unlimited)")
 	retries := flag.Int("retries", 0, "retries per task for transient failures (0 = default of 2, negative disables)")
+	resultCache := flag.Bool("result-cache", false, "keep per-task done markers after jobs finish so identical decks resubmitted later reuse completed results (needs -dir)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a graceful shutdown may take before aborting")
 	traceOn := flag.Bool("trace-journal", false, "record the run journal (served at /trace)")
 	traceJSONL := flag.String("trace-jsonl", "", "additionally append every journal event to this JSONL file (implies -trace-journal)")
 	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot to this file on shutdown")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: semsimd [-addr :8723] [-dir semsimd-data] [-workers n] [-checkpoint-every n] [-job-timeout d] [-retries n] [-drain-timeout d] [-trace-journal] [-trace-jsonl f] [-metrics-out f]\n")
+		fmt.Fprintf(os.Stderr, "usage: semsimd [-addr :8723] [-dir semsimd-data] [-workers n] [-checkpoint-every n] [-job-timeout d] [-retries n] [-result-cache] [-drain-timeout d] [-trace-journal] [-trace-jsonl f] [-metrics-out f]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -96,6 +97,7 @@ func main() {
 		CheckpointEvery: *every,
 		JobTimeout:      *jobTimeout,
 		MaxRetries:      *retries,
+		ResultCache:     *resultCache,
 		Obs:             o,
 	})
 

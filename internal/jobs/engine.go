@@ -14,6 +14,7 @@ import (
 
 	"semsim/internal/netlist"
 	"semsim/internal/obs"
+	"semsim/internal/sweep"
 )
 
 // State is a job's lifecycle position.
@@ -59,6 +60,13 @@ type EngineConfig struct {
 	// Obs receives engine metrics (jobs submitted/done/failed, retries);
 	// nil falls back to the process-global observer.
 	Obs *obs.Observer
+	// ResultCache keeps per-task done markers in CheckpointDir after a
+	// job completes instead of deleting them. Markers are keyed by deck
+	// content, so a later job over an identical deck (same directives,
+	// same trajectory-relevant overrides) reuses every completed
+	// (point, run) result instead of re-simulating — a daemon-scoped
+	// result cache, sound because trajectories are deterministic.
+	ResultCache bool
 }
 
 // Job is one submitted deck execution tracked by an Engine. All fields
@@ -69,8 +77,15 @@ type Job struct {
 	deckText string
 	ov       Overrides
 	key      string
-	vals     []float64
+	pts      []deckPoint
 	runs     int
+
+	// Refinement state of map decks: the fully refined fine-lattice
+	// axes and the number of refinement levels already simulated.
+	// finishTask plans the next level when a wave completes and appends
+	// its points to pts (all nil/zero for sweep decks).
+	fineXs, fineYs []float64
+	level          int
 
 	// Mutable state, guarded by the engine mutex.
 	state     State
@@ -180,7 +195,7 @@ func newEngine(cfg EngineConfig, runTask func(ctx context.Context, t task, cfg R
 	e.runTask = runTask
 	if e.runTask == nil {
 		e.runTask = func(ctx context.Context, t task, cfg RunConfig) (runResult, error) {
-			return runDeckPoint(ctx, t.job.deck, t.job.ov, t.job.key, t.point, t.job.vals[t.point], t.run, cfg)
+			return runDeckPoint(ctx, t.job.deck, t.job.ov, t.job.key, t.job.pts[t.point], t.run, cfg)
 		}
 	}
 	for w := 0; w < cfg.Workers; w++ {
@@ -228,10 +243,15 @@ func (e *Engine) Submit(d *netlist.Deck, ov Overrides) (*Job, error) {
 		return nil, err
 	}
 	spec := d.Spec
-	vals := sweepValues(&spec)
+	pts := deckPoints(&spec)
 	runs := spec.Runs
 	if runs < 1 {
 		runs = 1
+	}
+	var fineXs, fineYs []float64
+	if mp := spec.Map; mp != nil {
+		fineXs = sweep.RefineAxis(mp.X.Values(), mp.Depth)
+		fineYs = sweep.RefineAxis(mp.Y.Values(), mp.Depth)
 	}
 
 	e.mu.Lock()
@@ -246,14 +266,16 @@ func (e *Engine) Submit(d *netlist.Deck, ov Overrides) (*Job, error) {
 		deckText:  text.String(),
 		ov:        ov,
 		key:       key,
-		vals:      vals,
+		pts:       pts,
 		runs:      runs,
+		fineXs:    fineXs,
+		fineYs:    fineYs,
 		state:     StateQueued,
 		created:   time.Now(),
-		total:     len(vals) * runs,
+		total:     len(pts) * runs,
 		completed: make(chan struct{}),
 	}
-	j.results = make([][]runResult, len(vals))
+	j.results = make([][]runResult, len(pts))
 	for i := range j.results {
 		j.results[i] = make([]runResult, runs)
 	}
@@ -265,7 +287,7 @@ func (e *Engine) Submit(d *netlist.Deck, ov Overrides) (*Job, error) {
 		j.ctx, j.cancel = context.WithCancel(base)
 	}
 	e.jobs[j.id] = j
-	for i := range vals {
+	for i := range pts {
 		for r := 0; r < runs; r++ {
 			e.queue = append(e.queue, task{job: j, point: i, run: r})
 		}
@@ -321,7 +343,7 @@ func (e *Engine) Status(j *Job) JobStatus {
 func (e *Engine) statusLocked(j *Job) JobStatus {
 	st := JobStatus{
 		ID: j.id, State: j.state, Key: j.key,
-		Points: len(j.vals), RunsPer: j.runs,
+		Points: len(j.pts), RunsPer: j.runs,
 		TasksDone: j.done, TasksTotal: j.total, Resumed: j.resumed,
 		CreatedAt: j.created.UTC().Format(time.RFC3339),
 	}
@@ -381,6 +403,11 @@ func (e *Engine) draining() bool {
 
 func (e *Engine) worker(id int) {
 	defer e.wg.Done()
+	// The worker's compile-once session persists across tasks AND jobs:
+	// consecutive tasks of the same deck (and later jobs over the same
+	// deck) re-seed the cached solver instead of rebuilding it.
+	ds := &deckSession{}
+	defer ds.Close()
 	for {
 		e.mu.Lock()
 		for len(e.queue) == 0 && !e.closed {
@@ -423,11 +450,12 @@ func (e *Engine) worker(id int) {
 
 		lane := t.job.trace.workers[id%len(t.job.trace.workers)]
 		cfg := RunConfig{
-			Dir:    e.cfg.CheckpointDir,
-			Every:  e.cfg.CheckpointEvery,
-			Resume: e.cfg.CheckpointDir != "",
-			Stop:   e.drain,
-			hooks:  &taskHooks{e: e, j: t.job, lane: lane, point: t.point, run: t.run},
+			Dir:     e.cfg.CheckpointDir,
+			Every:   e.cfg.CheckpointEvery,
+			Resume:  e.cfg.CheckpointDir != "",
+			Stop:    e.drain,
+			hooks:   &taskHooks{e: e, j: t.job, lane: lane, point: t.point, run: t.run},
+			session: ds,
 		}
 		e.running.Add(1)
 		startWall := t.job.trace.wall()
@@ -507,18 +535,50 @@ func (e *Engine) finishTask(t task, res runResult, err error) {
 	if j.done < j.total {
 		return
 	}
+	if j.err == nil {
+		// A completed wave of a map deck: plan the next refinement level
+		// from the folded currents and fan its points out instead of
+		// finalizing. The plan is pure arithmetic on completed results, so
+		// the job's trajectory set is identical at any worker count — and
+		// a resubmission after an interrupt replays earlier waves from
+		// done markers and lands on the same plan.
+		spec := j.deck.Spec
+		if next := planRefine(&spec, j.fineXs, j.fineYs, j.pts, j.results, j.level); len(next) > 0 {
+			j.level++
+			start := len(j.pts)
+			j.pts = append(j.pts, next...)
+			for range next {
+				j.results = append(j.results, make([]runResult, j.runs))
+			}
+			added := len(next) * j.runs
+			j.total += added
+			for i := start; i < len(j.pts); i++ {
+				for r := 0; r < j.runs; r++ {
+					e.queue = append(e.queue, task{job: j, point: i, run: r})
+				}
+			}
+			e.queueLen.Add(int64(added))
+			e.count("jobs.refine_waves")
+			e.publish(j, "refine", fmt.Sprintf(`{"job":%q,"level":%d,"new_points":%d,"tasks_total":%d}`,
+				j.id, j.level, len(next), j.total))
+			e.cond.Broadcast()
+			return
+		}
+	}
 	j.finished = time.Now()
 	switch {
 	case j.err == nil:
 		spec := j.deck.Spec
-		j.points = foldResults(&spec, j.vals, j.results)
+		j.points = foldResults(&spec, j.pts, j.results)
 		j.state = StateDone
 		e.count("jobs.done")
-		if dir := e.cfg.CheckpointDir; dir != "" {
+		if dir := e.cfg.CheckpointDir; dir != "" && !e.cfg.ResultCache {
 			// The job folded; its per-task done markers are obsolete.
-			for i := range j.vals {
+			// With ResultCache they stay behind so an identical deck
+			// submitted later reuses every completed result.
+			for _, p := range j.pts {
 				for r := 0; r < j.runs; r++ {
-					os.Remove(checkpointPath(dir, j.key, i, r))
+					os.Remove(checkpointPath(dir, j.key, p.Fine, r))
 				}
 			}
 		}

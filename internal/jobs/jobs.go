@@ -35,10 +35,12 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"semsim/internal/netlist"
 	"semsim/internal/obs"
+	"semsim/internal/sweep"
 )
 
 // ErrInterrupted reports that a run was stopped by a drain request (or
@@ -67,10 +69,13 @@ type Overrides struct {
 }
 
 // Point is one operating point of an executed deck: the swept source
-// value and the measured currents averaged over the deck's runs.
+// value(s) and the measured currents averaged over the deck's runs.
 type Point struct {
-	// SweepV is the swept source value (0 when the deck has no sweep).
+	// SweepV is the swept source value (the map X coordinate for `map`
+	// decks; 0 when the deck sweeps nothing).
 	SweepV float64 `json:"sweep_v"`
+	// Y is the second-axis source value of a `map` deck point.
+	Y float64 `json:"y,omitempty"`
 	// Current holds the measured current per recorded junction (keyed by
 	// netlist junction id), averaged over the deck's runs.
 	Current map[int]float64 `json:"current"`
@@ -100,11 +105,21 @@ type RunConfig struct {
 	// Stop, when closed, asks in-flight runs to checkpoint at the next
 	// refresh boundary and return ErrInterrupted (graceful drain).
 	Stop <-chan struct{}
+	// KeepDone retains per-task done markers after the deck folds instead
+	// of deleting them. Markers are keyed by deck content, so a later
+	// execution of the same deck (any job, same checkpoint dir) reuses
+	// the completed results instead of re-simulating — a local result
+	// cache, sound because trajectories are deterministic.
+	KeepDone bool
 
 	// hooks receives per-task observability callbacks (checkpoint writes,
 	// resumes, per-chunk progress). Only the Engine sets it; nil (the
 	// ExecuteDeck and RunSim paths) disables all task telemetry.
 	hooks *taskHooks
+	// session, when non-nil, is the calling worker's compile-once cache:
+	// runDeckPoint reuses its compiled circuit and solver via Reset
+	// instead of rebuilding per task. Bit-identical either way.
+	session *deckSession
 }
 
 // defaultCheckpointEvery is the checkpoint cadence (in events) when
@@ -133,19 +148,109 @@ func checkpointPath(dir, key string, point, run int) string {
 	return filepath.Join(dir, fmt.Sprintf("%s-p%04d-r%03d.ckpt", key, point, run))
 }
 
-// sweepValues expands the deck's sweep directive into the ordered
-// operating-point values ([0] when the deck has no sweep). The
-// iteration matches the original RunDeck loop exactly — accumulation
-// order is part of the bit-identity contract.
-func sweepValues(spec *netlist.Spec) []float64 {
+// deckPoint is one operating point of a deck in task form: the source
+// values to install and the point's lattice index, which seeds the
+// trajectory.
+type deckPoint struct {
+	X, Y float64
+	// Fine is the deterministic point index used for seeds, checkpoint
+	// names and done markers. For sweep decks it is the sweep ordinal;
+	// for map decks it is the point's flat index on the fully refined
+	// fine lattice (fy*fnx + fx), so a point simulated during refinement
+	// is bit-identical to the same point of a uniform fine map — and to
+	// itself regardless of which refinement wave discovered it or how
+	// many workers ran.
+	Fine int
+	// over maps netlist node -> DC voltage realizing this point's bias.
+	over map[int]float64
+}
+
+// deckPoints expands the deck's sweep or map directive into the ordered
+// initial operating points ([one unbiased point] when the deck sets
+// neither). Sweep iteration matches the original RunDeck loop exactly —
+// accumulation order is part of the bit-identity contract. Map decks
+// start from the coarse grid placed at fine-aligned lattice indices;
+// refinement waves append more points later (planRefine).
+func deckPoints(spec *netlist.Spec) []deckPoint {
 	if sw := spec.Sweep; sw != nil {
-		var vals []float64
+		var pts []deckPoint
 		for v := -sw.Max; v <= sw.Max+sw.Step/2; v += sw.Step {
-			vals = append(vals, v)
+			over := map[int]float64{sw.Node: v}
+			if sw.Mirror >= 0 {
+				over[sw.Mirror] = -v
+			}
+			pts = append(pts, deckPoint{X: v, Fine: len(pts), over: over})
 		}
-		return vals
+		return pts
 	}
-	return []float64{0}
+	if mp := spec.Map; mp != nil {
+		fineXs := sweep.RefineAxis(mp.X.Values(), mp.Depth)
+		fineYs := sweep.RefineAxis(mp.Y.Values(), mp.Depth)
+		fnx := len(fineXs)
+		stride := 1 << mp.Depth
+		var pts []deckPoint
+		for fy := 0; fy < len(fineYs); fy += stride {
+			for fx := 0; fx < fnx; fx += stride {
+				pts = append(pts, deckPoint{
+					X: fineXs[fx], Y: fineYs[fy], Fine: fy*fnx + fx,
+					over: map[int]float64{mp.X.Node: fineXs[fx], mp.Y.Node: fineYs[fy]},
+				})
+			}
+		}
+		return pts
+	}
+	return []deckPoint{{over: map[int]float64{}}}
+}
+
+// planRefine folds completed map-deck results onto the fine lattice and
+// plans the next refinement level's points via sweep.RefinePlan. level
+// is the number of levels already simulated (0 = only the coarse grid);
+// the returned slice is empty once refinement is exhausted — and an
+// empty level proves every deeper level empty too, because deeper cells
+// need corners only a refined shallower level could have simulated.
+// The fold uses the deck's first recorded junction (blockaded points
+// count as zero current). Pure arithmetic on deterministic inputs, so
+// the plan — like everything scheduled from it — is worker-count- and
+// schedule-invariant.
+func planRefine(spec *netlist.Spec, fineXs, fineYs []float64, pts []deckPoint, results [][]runResult, level int) []deckPoint {
+	mp := spec.Map
+	if mp == nil || level >= mp.Depth {
+		return nil
+	}
+	fnx, fny := len(fineXs), len(fineYs)
+	I := make([][]float64, fny)
+	sim := make([][]bool, fny)
+	for iy := range I {
+		I[iy] = make([]float64, fnx)
+		sim[iy] = make([]bool, fnx)
+	}
+	runs := spec.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	j0 := spec.RecordJuncs[0]
+	for i, p := range pts {
+		fx, fy := p.Fine%fnx, p.Fine/fnx
+		var cur float64
+		for run := 0; run < runs; run++ {
+			if r := results[i][run]; !r.Blockaded {
+				cur += r.Current[j0] / float64(runs)
+			}
+		}
+		I[fy][fx] = cur
+		sim[fy][fx] = true
+	}
+	cell := 1 << (mp.Depth - level) // cell size of the last simulated level
+	plan := sweep.RefinePlan(I, sim, cell, mp.Threshold)
+	out := make([]deckPoint, len(plan))
+	for i, fp := range plan {
+		fx, fy := fp[0], fp[1]
+		out[i] = deckPoint{
+			X: fineXs[fx], Y: fineYs[fy], Fine: fy*fnx + fx,
+			over: map[int]float64{mp.X.Node: fineXs[fx], mp.Y.Node: fineYs[fy]},
+		}
+	}
+	return out
 }
 
 // validateDeck rejects decks that cannot be executed: nothing recorded
@@ -164,15 +269,25 @@ func validateDeck(d *netlist.Deck) error {
 // the same float operation order as the historical sequential loop:
 // for each recorded junction, run contributions are added in run order
 // and divided by the run count. This keeps ExecuteDeck's output
-// bit-identical at any Workers setting.
-func foldResults(spec *netlist.Spec, vals []float64, results [][]runResult) []Point {
+// bit-identical at any Workers setting. Map-deck points (coarse grid
+// plus appended refinement waves) are emitted in fine-lattice order, so
+// the output is also invariant to how many refinement waves ran.
+func foldResults(spec *netlist.Spec, pts []deckPoint, results [][]runResult) []Point {
 	runs := spec.Runs
 	if runs < 1 {
 		runs = 1
 	}
-	out := make([]Point, len(vals))
-	for i, v := range vals {
-		pt := Point{SweepV: v, Current: map[int]float64{}}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	if spec.Map != nil {
+		sort.Slice(order, func(a, b int) bool { return pts[order[a]].Fine < pts[order[b]].Fine })
+	}
+	out := make([]Point, len(pts))
+	for oi, i := range order {
+		p := pts[i]
+		pt := Point{SweepV: p.X, Y: p.Y, Current: map[int]float64{}}
 		for run := 0; run < runs; run++ {
 			r := results[i][run]
 			if r.Blockaded {
@@ -184,24 +299,28 @@ func foldResults(spec *netlist.Spec, vals []float64, results [][]runResult) []Po
 				pt.Current[j] += r.Current[j] / float64(runs)
 			}
 		}
-		out[i] = pt
+		out[oi] = pt
 	}
 	return out
 }
 
-// ExecuteDeck runs every (sweep point, run) task of a deck and returns
-// the folded operating points. With cfg.Dir set, each task checkpoints
-// periodically and — with cfg.Resume — continues from any valid
-// checkpoint it finds, making long sweeps crash-safe; completed tasks
-// delete their files. Cancel ctx to abandon the execution immediately,
-// or close cfg.Stop to drain: in-flight tasks persist a final
-// checkpoint and ExecuteDeck returns ErrInterrupted.
+// ExecuteDeck runs every (point, run) task of a deck and returns the
+// folded operating points. Each worker compiles the deck once and
+// re-seeds its solver per task (compile-once sessions, bit-identical to
+// rebuilding). Map decks execute in waves: the coarse grid first, then
+// adaptively planned refinement points level by level. With cfg.Dir
+// set, each task checkpoints periodically and — with cfg.Resume —
+// continues from any valid checkpoint it finds, making long sweeps
+// crash-safe; completed tasks delete their files unless cfg.KeepDone.
+// Cancel ctx to abandon the execution immediately, or close cfg.Stop to
+// drain: in-flight tasks persist a final checkpoint and ExecuteDeck
+// returns ErrInterrupted.
 func ExecuteDeck(ctx context.Context, d *netlist.Deck, ov Overrides, cfg RunConfig) ([]Point, error) {
 	if err := validateDeck(d); err != nil {
 		return nil, err
 	}
 	spec := d.Spec
-	vals := sweepValues(&spec)
+	pts := deckPoints(&spec)
 	key, err := deckKey(d, ov)
 	if err != nil {
 		return nil, err
@@ -210,54 +329,69 @@ func ExecuteDeck(ctx context.Context, d *netlist.Deck, ov Overrides, cfg RunConf
 	if runs < 1 {
 		runs = 1
 	}
-	results := make([][]runResult, len(vals))
-	for i := range results {
-		results[i] = make([]runResult, runs)
-	}
-
-	type task struct{ point, run int }
-	tasks := make([]task, 0, len(vals)*runs)
-	for i := range vals {
-		for r := 0; r < runs; r++ {
-			tasks = append(tasks, task{i, r})
-		}
-	}
-
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
 
-	run := func(t task) error {
-		res, err := runDeckPoint(ctx, d, ov, key, t.point, vals[t.point], t.run, cfg)
-		if err != nil {
-			if errors.Is(err, ErrInterrupted) || errors.Is(err, context.Canceled) {
-				return err
-			}
-			return fmt.Errorf("point %d (v=%g) run %d: %w", t.point, vals[t.point], t.run, err)
-		}
-		results[t.point][t.run] = res
-		return nil
+	// Per-worker compile-once sessions, persistent across refinement
+	// waves. Worker w only ever touches sessions[w], so no locking.
+	sessions := make([]*deckSession, workers)
+	for w := range sessions {
+		sessions[w] = &deckSession{}
 	}
+	defer func() {
+		for _, ds := range sessions {
+			ds.Close()
+		}
+	}()
 
-	if workers == 1 {
-		for _, t := range tasks {
-			if err := run(t); err != nil {
-				return nil, err
+	var results [][]runResult
+	runWave := func(start int) error {
+		for i := start; i < len(pts); i++ {
+			results = append(results, make([]runResult, runs))
+		}
+		type task struct{ point, run int }
+		tasks := make([]task, 0, (len(pts)-start)*runs)
+		for i := start; i < len(pts); i++ {
+			for r := 0; r < runs; r++ {
+				tasks = append(tasks, task{i, r})
 			}
 		}
-	} else {
+		run := func(w int, t task) error {
+			wcfg := cfg
+			wcfg.session = sessions[w]
+			res, err := runDeckPoint(ctx, d, ov, key, pts[t.point], t.run, wcfg)
+			if err != nil {
+				if errors.Is(err, ErrInterrupted) || errors.Is(err, context.Canceled) {
+					return err
+				}
+				return fmt.Errorf("point %d (v=%g) run %d: %w", pts[t.point].Fine, pts[t.point].X, t.run, err)
+			}
+			results[t.point][t.run] = res
+			return nil
+		}
+
+		wn := workers
+		if wn > len(tasks) {
+			wn = len(tasks)
+		}
+		if wn <= 1 {
+			for _, t := range tasks {
+				if err := run(0, t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 		// Cancel the siblings once any task fails; the deterministic fold
 		// below makes completion order irrelevant to the result.
 		tctx, cancel := context.WithCancel(ctx)
 		defer cancel()
 		work := make(chan task)
-		errs := make([]error, workers)
+		errs := make([]error, wn)
 		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
+		for w := 0; w < wn; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
@@ -265,7 +399,7 @@ func ExecuteDeck(ctx context.Context, d *netlist.Deck, ov Overrides, cfg RunConf
 					if tctx.Err() != nil {
 						continue
 					}
-					if err := run(t); err != nil && errs[w] == nil {
+					if err := run(w, t); err != nil && errs[w] == nil {
 						errs[w] = err
 						cancel()
 					}
@@ -287,22 +421,45 @@ func ExecuteDeck(ctx context.Context, d *netlist.Deck, ov Overrides, cfg RunConf
 				firstErr = err
 			}
 		}
-		if firstErr != nil {
-			return nil, firstErr
-		}
+		return firstErr
 	}
+
+	// Wave loop: a sweep deck is a single wave; a map deck follows the
+	// coarse wave with one wave per refinement level until the planner
+	// finds no more contrast (or Depth is reached).
+	var fineXs, fineYs []float64
+	if mp := spec.Map; mp != nil {
+		fineXs = sweep.RefineAxis(mp.X.Values(), mp.Depth)
+		fineYs = sweep.RefineAxis(mp.Y.Values(), mp.Depth)
+	}
+	for start, level := 0, 0; ; level++ {
+		if err := runWave(start); err != nil {
+			return nil, err
+		}
+		start = len(pts)
+		next := planRefine(&spec, fineXs, fineYs, pts, results, level)
+		if len(next) == 0 {
+			break
+		}
+		if o := obs.Global(); o != nil {
+			o.Registry().Counter("jobs.refine_waves").Add(1)
+		}
+		pts = append(pts, next...)
+	}
+
 	if o := obs.Global(); o != nil {
 		o.Registry().Counter("jobs.decks_executed").Add(1)
 	}
-	if cfg.Dir != "" {
+	if cfg.Dir != "" && !cfg.KeepDone {
 		// The whole deck folded: the per-task done markers (kept so a
 		// resume after a partial interruption skips finished tasks) have
-		// served their purpose. Best-effort removal.
-		for i := range vals {
+		// served their purpose. Best-effort removal. With KeepDone the
+		// markers stay behind as a deck-keyed result cache.
+		for _, p := range pts {
 			for r := 0; r < runs; r++ {
-				os.Remove(checkpointPath(cfg.Dir, key, i, r))
+				os.Remove(checkpointPath(cfg.Dir, key, p.Fine, r))
 			}
 		}
 	}
-	return foldResults(&spec, vals, results), nil
+	return foldResults(&spec, pts, results), nil
 }

@@ -186,6 +186,9 @@ func (h *taskHooks) resumed(events uint64) {
 	if h == nil {
 		return
 	}
+	h.e.mu.Lock()
+	h.j.resumed++
+	h.e.mu.Unlock()
 	if m := h.e.eobs; m != nil {
 		m.tasksResumed.Add(1)
 	}

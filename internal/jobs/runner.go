@@ -184,25 +184,78 @@ func (p *phaseRunner) runPhase(phase string, phaseStart, budget uint64, horizon 
 	}
 }
 
-// runDeckPoint executes one (sweep point, run) task of a deck: compile
-// the circuit at the point's source values, run the warm-up transient,
-// reset measurement, run the measured window, and report the recorded
-// junction currents. With cfg.Dir set it checkpoints periodically and,
-// with cfg.Resume, continues from a valid matching checkpoint file;
-// the file is removed once the task completes.
-func runDeckPoint(ctx context.Context, d *netlist.Deck, ov Overrides, key string, point int, sweepV float64, run int, cfg RunConfig) (runResult, error) {
-	spec := d.Spec
-	override := map[int]float64{}
-	if sw := spec.Sweep; sw != nil {
-		override[sw.Node] = sweepV
-		if sw.Mirror >= 0 {
-			override[sw.Mirror] = -sweepV
+// deckSession is one worker's compile-once cache: the compiled circuit
+// and solver of the most recent deck it executed. Sessions persist
+// across tasks (and, in the Engine, across jobs) so a deck's topology,
+// capacitance factorization, truncated C^-1 rows and rate tables are
+// built once per worker instead of once per (point, run). Reuse is
+// bit-identical to a fresh build — solver.Reset's contract — so the
+// cache is purely an amortization.
+type deckSession struct {
+	key string
+	cc  *netlist.Compiled
+	sim *solver.Sim
+}
+
+// Close releases the cached solver. Safe on the zero value.
+func (ds *deckSession) Close() {
+	if ds.sim != nil {
+		ds.sim.Close()
+		ds.sim = nil
+	}
+	ds.cc = nil
+	ds.key = ""
+}
+
+// acquire returns a simulator ready to run at the given seed and DC
+// bias (netlist node -> volts), reusing the cached build when the deck
+// key and worker count match and rebuilding otherwise. The session key
+// extends the deck key with Parallel because the deck key deliberately
+// excludes it (it never changes the trajectory) while the solver build
+// does depend on it.
+func (ds *deckSession) acquire(d *netlist.Deck, key string, opt solver.Options, over map[int]float64) (*solver.Sim, *netlist.Compiled, error) {
+	sessKey := fmt.Sprintf("%s|p%d", key, opt.Parallel)
+	if ds.sim == nil || ds.key != sessKey {
+		ds.Close()
+		cc, err := d.Compile(nil)
+		if err != nil {
+			return nil, nil, err
 		}
+		s, err := solver.New(cc.Circuit, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds.key, ds.cc, ds.sim = sessKey, cc, s
+		if o := obs.Global(); o != nil {
+			o.Registry().Counter("jobs.session_builds").Add(1)
+		}
+	} else if o := obs.Global(); o != nil {
+		o.Registry().Counter("jobs.session_reuses").Add(1)
 	}
-	cc, err := d.Compile(override)
-	if err != nil {
-		return runResult{}, err
+	circOver := make(map[int]float64, len(over))
+	for n, v := range over {
+		cn, ok := ds.cc.Node[n]
+		if !ok {
+			return nil, nil, fmt.Errorf("jobs: DC override of unknown netlist node %d", n)
+		}
+		circOver[cn] = v
 	}
+	if err := ds.sim.Reset(opt.Seed, circOver); err != nil {
+		return nil, nil, err
+	}
+	return ds.sim, ds.cc, nil
+}
+
+// runDeckPoint executes one (point, run) task of a deck: install the
+// point's source values, run the warm-up transient, reset measurement,
+// run the measured window, and report the recorded junction currents.
+// With cfg.session set the worker's cached solver is re-seeded in place
+// of a fresh compile — bit-identical either way. With cfg.Dir set it
+// checkpoints periodically and, with cfg.Resume, continues from a valid
+// matching checkpoint file; the file is removed once the task completes
+// (or replaced by a done marker on the Resume path).
+func runDeckPoint(ctx context.Context, d *netlist.Deck, ov Overrides, key string, pt deckPoint, run int, cfg RunConfig) (runResult, error) {
+	spec := d.Spec
 	// Engine selection: the deck's directives choose the build, and
 	// overrides can force the sparse view, a coarser truncation, rate
 	// tables or a worker count on top.
@@ -221,22 +274,38 @@ func runDeckPoint(ctx context.Context, d *netlist.Deck, ov Overrides, key string
 		Adaptive:         spec.Adaptive,
 		Alpha:            spec.Alpha,
 		RefreshEvery:     spec.RefreshEvery,
-		Seed:             spec.Seed + uint64(point)*1009 + uint64(run)*104729,
+		Seed:             spec.Seed + uint64(pt.Fine)*1009 + uint64(run)*104729,
 		Parallel:         parallel,
 		RateTables:       ov.RateTables || spec.RateTables,
 		SparsePotentials: sparse,
 		CinvTruncation:   eps,
 	}
-	s, err := solver.New(cc.Circuit, opt)
-	if err != nil {
-		return runResult{}, err
+	var (
+		s   *solver.Sim
+		cc  *netlist.Compiled
+		err error
+	)
+	if cfg.session != nil {
+		s, cc, err = cfg.session.acquire(d, key, opt, pt.over)
+		if err != nil {
+			return runResult{}, err
+		}
+	} else {
+		cc, err = d.Compile(pt.over)
+		if err != nil {
+			return runResult{}, err
+		}
+		s, err = solver.New(cc.Circuit, opt)
+		if err != nil {
+			return runResult{}, err
+		}
+		defer s.Close()
 	}
-	defer s.Close()
 
 	p := newPhaseRunner(ctx, s, cfg)
-	p.key, p.point, p.run = key, point, run
+	p.key, p.point, p.run = key, pt.Fine, run
 	if cfg.Dir != "" {
-		p.path = checkpointPath(cfg.Dir, key, point, run)
+		p.path = checkpointPath(cfg.Dir, key, pt.Fine, run)
 	}
 
 	phase := phaseWarm
@@ -247,16 +316,19 @@ func runDeckPoint(ctx context.Context, d *netlist.Deck, ov Overrides, key string
 			if f.Key != key {
 				return runResult{}, fmt.Errorf("jobs: checkpoint %s belongs to a different deck (key %s, want %s)", p.path, f.Key, key)
 			}
-			if f.Point != point || f.Run != run {
-				return runResult{}, fmt.Errorf("jobs: checkpoint %s is for point %d run %d, want point %d run %d", p.path, f.Point, f.Run, point, run)
+			if f.Point != pt.Fine || f.Run != run {
+				return runResult{}, fmt.Errorf("jobs: checkpoint %s is for point %d run %d, want point %d run %d", p.path, f.Point, f.Run, pt.Fine, run)
 			}
 			if f.Phase == phaseDone {
 				// The task already completed in an earlier invocation whose
-				// overall batch was interrupted later: reuse its result
-				// instead of re-simulating (re-running would fold in the same
-				// numbers anyway — determinism makes this purely a shortcut).
+				// overall batch was interrupted later — or in a previous job
+				// over the same deck whose markers were kept as a result
+				// cache: reuse its result instead of re-simulating
+				// (re-running would fold in the same numbers anyway —
+				// determinism makes this purely a shortcut).
 				if o := obs.Global(); o != nil {
 					o.Registry().Counter("jobs.runs_resumed").Add(1)
+					o.Registry().Counter("jobs.result_cache_hits").Add(1)
 				}
 				cfg.hooks.resumed(0)
 				return *f.Result, nil
@@ -287,7 +359,7 @@ func runDeckPoint(ctx context.Context, d *netlist.Deck, ov Overrides, key string
 			// only costs a deterministic re-run. The batch driver removes
 			// all markers once the whole deck completes.
 			err := saveRunFile(p.path, &runFile{
-				Key: key, Point: point, Run: run, Phase: phaseDone, Result: &res,
+				Key: key, Point: pt.Fine, Run: run, Phase: phaseDone, Result: &res,
 			})
 			if err != nil {
 				if o := obs.Global(); o != nil {

@@ -17,7 +17,7 @@ var deckDirectives = []string{
 	"num",
 	"temp", "cotunnel", "super",
 	"record", "probe",
-	"jumps", "time", "sweep", "seed",
+	"jumps", "time", "sweep", "map", "refine", "seed",
 	"adaptive", "refresh",
 	"sparse", "cinv-eps", "parallel", "rate-tables",
 }

@@ -26,6 +26,9 @@
 //	jumps 100000 1               stop after N tunnel events [runs]
 //	time 1e-5                    or stop at simulated time (seconds)
 //	sweep 2 0.02 0.00005         sweep node 2's DC source over [-max, max]
+//	map x 2 -0.04 0.04 33        stability-map X axis: node min max points
+//	map y 3 0 0.05 17            stability-map Y axis
+//	refine 3 0.1                 adaptive map refinement: depth [threshold]
 //	seed 42                      RNG seed
 //	adaptive 0.05                adaptive solver with threshold alpha
 //	refresh 1024                 full recalculation period
@@ -52,6 +55,7 @@ import (
 	"strings"
 
 	"semsim/internal/circuit"
+	"semsim/internal/numeric"
 	"semsim/internal/units"
 )
 
@@ -62,6 +66,28 @@ type SweepSpec struct {
 	// Mirror is the node driven with the negated sweep value (the
 	// paper's "symm" directive), or -1.
 	Mirror int
+}
+
+// MapAxis is one axis of a 2-D stability map: the DC-driven netlist
+// node it sweeps and its coarse grid.
+type MapAxis struct {
+	Node     int
+	Min, Max float64
+	Points   int
+}
+
+// Values expands the axis into its coarse grid coordinates.
+func (a MapAxis) Values() []float64 { return numeric.Linspace(a.Min, a.Max, a.Points) }
+
+// MapSpec describes a requested 2-D stability map (the `map` deck
+// directive), optionally adaptively refined (`refine`): the coarse
+// X×Y grid is simulated everywhere and cells whose corner currents
+// span at least Threshold × the global current range are subdivided
+// Depth times.
+type MapSpec struct {
+	X, Y      MapAxis
+	Depth     int     // refinement levels; 0 = uniform coarse grid
+	Threshold float64 // contrast trigger fraction; 0 = engine default
 }
 
 // Spec carries everything in the deck that is not circuit topology.
@@ -90,6 +116,7 @@ type Spec struct {
 	Parallel    int
 	RateTables  bool
 	Sweep       *SweepSpec
+	Map         *MapSpec
 	RecordJuncs []int // netlist junction ids
 	ProbeNodes  []int // netlist node numbers
 }
@@ -387,6 +414,54 @@ func (d *Deck) directive(f []string, ln int) error {
 		d.Spec.Sweep.Node = n
 		d.Spec.Sweep.Max = mx
 		d.Spec.Sweep.Step = st
+	case "map":
+		if err := need(5); err != nil {
+			return err
+		}
+		n, err1 := inum(f[2])
+		lo, err2 := num(f[3])
+		hi, err3 := num(f[4])
+		pts, err4 := inum(f[5])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return bad("map: needs axis node min max points")
+		}
+		if lo >= hi {
+			return bad("map: min must be below max")
+		}
+		if pts < 2 {
+			return bad("map: needs at least 2 points per axis")
+		}
+		if d.Spec.Map == nil {
+			d.Spec.Map = &MapSpec{}
+		}
+		ax := MapAxis{Node: n, Min: lo, Max: hi, Points: pts}
+		switch f[1] {
+		case "x":
+			d.Spec.Map.X = ax
+		case "y":
+			d.Spec.Map.Y = ax
+		default:
+			return bad("map: axis must be x or y, got %q", f[1])
+		}
+	case "refine":
+		if len(f) != 2 && len(f) != 3 {
+			return bad("refine needs: depth [threshold]")
+		}
+		depth, err := inum(f[1])
+		if err != nil || depth < 1 || depth > 12 {
+			return bad("refine: depth must be in [1, 12]")
+		}
+		if d.Spec.Map == nil {
+			d.Spec.Map = &MapSpec{}
+		}
+		d.Spec.Map.Depth = depth
+		if len(f) == 3 {
+			thr, err := num(f[2])
+			if err != nil || thr <= 0 || thr >= 1 {
+				return bad("refine: threshold must be in (0, 1)")
+			}
+			d.Spec.Map.Threshold = thr
+		}
 	case "seed":
 		if err := need(1); err != nil {
 			return err
@@ -484,6 +559,26 @@ func (d *Deck) validate() error {
 			if _, ok := d.sources[sw.Mirror]; !ok {
 				return fmt.Errorf("netlist: symm node %d has no DC source", sw.Mirror)
 			}
+		}
+	}
+	if mp := d.Spec.Map; mp != nil {
+		if d.Spec.Sweep != nil {
+			return fmt.Errorf("netlist: map and sweep are mutually exclusive")
+		}
+		if mp.X.Points == 0 || mp.Y.Points == 0 {
+			return fmt.Errorf("netlist: map needs both an x and a y axis (refine alone is not enough)")
+		}
+		for _, ax := range [2]MapAxis{mp.X, mp.Y} {
+			src, ok := d.sources[ax.Node]
+			if !ok {
+				return fmt.Errorf("netlist: map node %d has no source", ax.Node)
+			}
+			if _, isDC := src.(circuit.DC); !isDC {
+				return fmt.Errorf("netlist: map node %d must carry a DC source", ax.Node)
+			}
+		}
+		if mp.X.Node == mp.Y.Node {
+			return fmt.Errorf("netlist: map axes must sweep distinct nodes, both use %d", mp.X.Node)
 		}
 	}
 	for n := range d.charges {

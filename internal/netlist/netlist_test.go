@@ -208,11 +208,74 @@ func TestParseErrors(t *testing.T) {
 		"neg parallel":       "junc 1 0 1 1e-6 1e-18\nparallel -2\n",
 		"parallel argc":      "junc 1 0 1 1e-6 1e-18\nparallel\n",
 		"rate-tables argc":   "junc 1 0 1 1e-6 1e-18\nrate-tables 3\n",
+		"map one axis":       "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nmap x 1 -0.1 0.1 5\n",
+		"map bad axis":       "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nmap z 1 -0.1 0.1 5\n",
+		"map min>=max":       "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nvdc 2 0\nmap x 1 0.1 0.1 5\nmap y 2 0 1 5\n",
+		"map 1 point":        "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nvdc 2 0\nmap x 1 -0.1 0.1 1\nmap y 2 0 1 5\n",
+		"map no source":      "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nmap x 1 -0.1 0.1 5\nmap y 9 0 1 5\n",
+		"map non-DC":         "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nvac 2 0 0.01 1e9\ncap 2 3 1e-18\nmap x 1 -0.1 0.1 5\nmap y 2 0 1 5\n",
+		"map same node":      "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nmap x 1 -0.1 0.1 5\nmap y 1 0 1 5\n",
+		"map plus sweep":     "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nvdc 2 0\nsweep 1 0.1 0.01\nmap x 1 -0.1 0.1 5\nmap y 2 0 1 5\n",
+		"refine no map":      "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nrefine 2\n",
+		"refine depth 0":     "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nvdc 2 0\nmap x 1 -0.1 0.1 5\nmap y 2 0 1 5\nrefine 0\n",
+		"refine threshold":   "junc 1 1 2 1e-6 1e-18\nvdc 1 0\nvdc 2 0\nmap x 1 -0.1 0.1 5\nmap y 2 0 1 5\nrefine 2 1.5\n",
 	}
 	for name, deck := range cases {
 		if _, err := Parse(strings.NewReader(deck)); err == nil {
 			t.Errorf("%s: accepted invalid deck", name)
 		}
+	}
+}
+
+func TestParseMapDirective(t *testing.T) {
+	deck := `
+junc 1 1 3 1e-6 1e-18
+junc 2 2 3 1e-6 1e-18
+vdc 1 0.01
+vdc 2 0
+temp 5
+record 1
+jumps 1000
+map x 2 -0.08 0.08 17
+map y 1 -0.05 0.05 9
+refine 3 0.2
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := d.Spec.Map
+	if mp == nil {
+		t.Fatal("map spec not parsed")
+	}
+	if mp.X != (MapAxis{Node: 2, Min: -0.08, Max: 0.08, Points: 17}) {
+		t.Fatalf("X axis = %+v", mp.X)
+	}
+	if mp.Y != (MapAxis{Node: 1, Min: -0.05, Max: 0.05, Points: 9}) {
+		t.Fatalf("Y axis = %+v", mp.Y)
+	}
+	if mp.Depth != 3 || mp.Threshold != 0.2 {
+		t.Fatalf("refine = depth %d threshold %g", mp.Depth, mp.Threshold)
+	}
+	xs := mp.X.Values()
+	if len(xs) != 17 || xs[0] != -0.08 || xs[16] != 0.08 {
+		t.Fatalf("X values = %v", xs)
+	}
+	// refine may precede its map directives (symm/sweep-style tolerance).
+	d2, err := Parse(strings.NewReader(`
+junc 1 1 3 1e-6 1e-18
+vdc 1 0.01
+vdc 2 0
+cap 2 3 1e-18
+refine 2
+map x 2 -0.08 0.08 17
+map y 1 -0.05 0.05 9
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Spec.Map.Depth != 2 || d2.Spec.Map.Threshold != 0 {
+		t.Fatalf("refine-first deck parsed to %+v", d2.Spec.Map)
 	}
 }
 

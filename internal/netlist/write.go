@@ -94,6 +94,17 @@ func (d *Deck) Format(w io.Writer) error {
 			p("symm %d\n", sw.Mirror)
 		}
 	}
+	if mp := sp.Map; mp != nil {
+		p("map x %d %.17g %.17g %d\n", mp.X.Node, mp.X.Min, mp.X.Max, mp.X.Points)
+		p("map y %d %.17g %.17g %d\n", mp.Y.Node, mp.Y.Min, mp.Y.Max, mp.Y.Points)
+		if mp.Depth > 0 {
+			if mp.Threshold > 0 {
+				p("refine %d %.17g\n", mp.Depth, mp.Threshold)
+			} else {
+				p("refine %d\n", mp.Depth)
+			}
+		}
+	}
 	if sp.Seed != 0 {
 		p("seed %d\n", sp.Seed)
 	}

@@ -72,6 +72,37 @@ rate-tables
 	}
 }
 
+func TestFormatMapRoundTrip(t *testing.T) {
+	for _, refine := range []string{"", "refine 3\n", "refine 3 0.25\n"} {
+		src := `
+junc 1 1 3 1e-6 1e-18
+vdc 1 0.01
+vdc 2 0
+cap 2 3 1e-18
+temp 5
+record 1
+jumps 1000
+map x 2 -0.08 0.08 17
+map y 1 -0.05 0.05 9
+` + refine
+		d1, err := Parse(strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := d1.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+		d2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of formatted map deck: %v\n---\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(d1.Spec.Map, d2.Spec.Map) {
+			t.Fatalf("map spec changed across round trip (%q):\n%+v\nvs\n%+v", refine, d1.Spec.Map, d2.Spec.Map)
+		}
+	}
+}
+
 func TestFormatSuperAndPWL(t *testing.T) {
 	src := `
 junc 1 1 2 4.76e-6 110e-18

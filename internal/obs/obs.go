@@ -69,6 +69,12 @@ type Observer struct {
 	cinvNNZ        *Gauge
 	cinvTrunc      *Gauge
 	cholFill       *Gauge
+	sessionResets  *Counter
+	sessionBuilds  *Counter
+	pointsDone     *Counter
+	pointsTotal    *Gauge
+	pointsSkipped  *Gauge
+	refineDepth    *Histogram
 
 	heatMu sync.Mutex
 	heat   []uint32
@@ -108,6 +114,14 @@ func New(cfg Config) *Observer {
 	o.cinvNNZ = o.reg.Gauge("circuit.cinv_nnz")
 	o.cinvTrunc = o.reg.Gauge("circuit.cinv_truncation_ratio")
 	o.cholFill = o.reg.Gauge("circuit.chol_fill_ratio")
+	o.sessionResets = o.reg.Counter("solver.session_resets")
+	o.sessionBuilds = o.reg.Counter("sweep.session_builds")
+	o.pointsDone = o.reg.Counter("sweep.points_done")
+	o.pointsTotal = o.reg.Gauge("sweep.points_total")
+	o.pointsSkipped = o.reg.Gauge("sweep.points_skipped")
+	// Refinement depths: small integers, so linear power-of-two bounds
+	// up to 128 levels cover anything a sane map asks for.
+	o.refineDepth = o.reg.Histogram("sweep.refine_depth", ExpBuckets(1, 2, 8))
 	return o
 }
 
@@ -293,6 +307,64 @@ func (o *Observer) PotentialEngine(nnz int, truncRatio, fill float64) {
 	o.cinvNNZ.Set(float64(nnz))
 	o.cinvTrunc.Set(truncRatio)
 	o.cholFill.Set(fill)
+}
+
+// SessionReset records one solver session reset: a reused Sim rewound
+// onto a new seed and bias point instead of being rebuilt from scratch.
+// The ratio of solver.session_resets to sweep.points_done is the
+// compile-once amortization the sweep engine achieves.
+func (o *Observer) SessionReset() {
+	if o == nil {
+		return
+	}
+	o.sessionResets.Add(1)
+}
+
+// SessionBuild records one full session construction (circuit compile +
+// solver build): the denominator of the compile-once amortization.
+func (o *Observer) SessionBuild() {
+	if o == nil {
+		return
+	}
+	o.sessionBuilds.Add(1)
+}
+
+// SweepTotal adds a batch of announced sweep points to the progress
+// denominator (sweep.points_total). Sweeps announce their grid up
+// front; adaptive refinement announces each level as it is planned, so
+// the meter never shows a fraction over 1.
+func (o *Observer) SweepTotal(n int) {
+	if o == nil {
+		return
+	}
+	o.pointsTotal.Add(float64(n))
+}
+
+// SweepPointDone records one completed sweep point.
+func (o *Observer) SweepPointDone() {
+	if o == nil {
+		return
+	}
+	o.pointsDone.Add(1)
+}
+
+// SweepSkipped accumulates fine-lattice points an adaptive refinement
+// run did NOT have to simulate (filled by interpolation instead) — the
+// direct measure of the refinement saving.
+func (o *Observer) SweepSkipped(n int) {
+	if o == nil {
+		return
+	}
+	o.pointsSkipped.Add(float64(n))
+}
+
+// RefineDepth records the refinement depth of one simulated map point
+// (0 = coarse grid).
+func (o *Observer) RefineDepth(depth int) {
+	if o == nil {
+		return
+	}
+	o.refineDepth.Observe(float64(depth))
 }
 
 // --- Global observer ---

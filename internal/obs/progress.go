@@ -80,14 +80,25 @@ func (p *Progress) report() {
 	p.lastEvents, p.lastAt = events, now
 
 	line := fmt.Sprintf("obs: %s events  %s ev/s  sim %.4g s", groupDigits(events), fmtRate(rate), simT)
-	if p.target > 0 && simT > 0 {
-		frac := simT / p.target
+	// Sweep-point progress is the honest meter for maps and sweeps:
+	// every point costs roughly the same, and the total is announced up
+	// front (SweepTotal). When a sweep is running it owns the percentage
+	// and ETA; otherwise a known target simulated time does.
+	var frac float64
+	if total := p.o.pointsTotal.Value(); total > 0 {
+		done := p.o.pointsDone.Value()
+		line += fmt.Sprintf("  points %s/%s", groupDigits(done), groupDigits(uint64(total)))
+		frac = float64(done) / total
+	} else if p.target > 0 && simT > 0 {
+		frac = simT / p.target
+	}
+	if frac > 0 {
 		if frac > 1 {
 			frac = 1
 		}
 		line += fmt.Sprintf("  %5.1f%%", 100*frac)
-		if frac > 0 && frac < 1 {
-			// ETA assumes simulated time advances at its average pace.
+		if frac < 1 {
+			// ETA assumes progress advances at its average pace.
 			elapsed := now.Sub(p.o.epoch).Seconds()
 			remain := elapsed * (1 - frac) / frac
 			line += fmt.Sprintf("  eta %s", time.Duration(remain*float64(time.Second)).Round(time.Second))

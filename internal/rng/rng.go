@@ -215,6 +215,17 @@ func (b *Batch) Intn(n int) int {
 	}
 }
 
+// Reseed rewinds the batch onto the stream of NewBatch(seed),
+// discarding any prefetched buffer: subsequent draws are bit-for-bit
+// those of a freshly constructed batch with the same seed. It exists so
+// a long-lived simulation session can restart on a new deterministic
+// stream per sweep point without reallocating the generator.
+func (b *Batch) Reseed(seed uint64) {
+	b.src = *New(seed)
+	b.snap = b.src
+	b.pos, b.n = 0, 0
+}
+
 // MarshalBinary encodes the logical generator state — the Source state
 // after exactly the consumed draws — in Source's 32-byte format, so
 // Batch and Source snapshots are interchangeable. Replaying at most

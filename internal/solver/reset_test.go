@@ -1,0 +1,259 @@
+package solver
+
+import (
+	"encoding/json"
+	"testing"
+
+	"semsim/internal/circuit"
+	"semsim/internal/units"
+)
+
+// resetSET builds the paper SET at the given bias point.
+func resetSET(vs, vd, vg float64, sup circuit.SuperParams) (*circuit.Circuit, circuit.SETNodes) {
+	return circuit.NewSET(circuit.SETConfig{
+		R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+		Vs: vs, Vd: vd, Vg: vg, Super: sup,
+	})
+}
+
+// fingerprint serializes the full dynamic state of a simulation — time,
+// electrons, RNG stream position, measurement counters, stats and
+// waveforms — so two trajectories can be compared bit-for-bit.
+func fingerprint(t *testing.T, s *Sim) string {
+	t.Helper()
+	cp, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestResetMatchesFresh is the load-bearing guarantee of the amortized
+// sweep engine: a reused, Reset simulation must follow bit-for-bit the
+// trajectory of a freshly compiled and constructed one at the same seed
+// and bias point — across solver configurations, across consecutive
+// points (no state leakage), serial and parallel.
+func TestResetMatchesFresh(t *testing.T) {
+	points := []struct{ vs, vd, vg float64 }{
+		{0.02, -0.02, 0.005},
+		{0.013, -0.007, -0.011},
+		{0.001, -0.024, 0.019},
+	}
+	cases := map[string]Options{
+		"plain":       {Temp: 5},
+		"adaptive":    {Temp: 5, Adaptive: true},
+		"rate-tables": {Temp: 5, RateTables: true},
+		"sparse":      {Temp: 5, SparsePotentials: true},
+		"t0":          {Temp: 0},
+		"parallel":    {Temp: 5, Adaptive: true, Parallel: 4},
+	}
+	const events = 1500
+	for name, opt := range cases {
+		t.Run(name, func(t *testing.T) {
+			// One long-lived session Sim, compiled at a bias point no
+			// sweep point uses, reused across all points via Reset.
+			base, nd := resetSET(0.042, 0.001, -0.03, circuit.SuperParams{})
+			opt.Seed = 1234
+			sess, err := New(base, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			for i, p := range points {
+				seed := uint64(9000 + 17*i)
+				fresh, _ := func() (*Sim, circuit.SETNodes) {
+					c, n := resetSET(p.vs, p.vd, p.vg, circuit.SuperParams{})
+					o := opt
+					o.Seed = seed
+					s, err := New(c, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return s, n
+				}()
+				if _, err := fresh.Run(events, 0); err != nil {
+					t.Fatal(err)
+				}
+				err := sess.Reset(seed, map[int]float64{
+					nd.Source: p.vs, nd.Drain: p.vd, nd.Gate: p.vg,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sess.Run(events, 0); err != nil {
+					t.Fatal(err)
+				}
+				if got, want := fingerprint(t, sess), fingerprint(t, fresh); got != want {
+					t.Fatalf("point %d: reused-session trajectory diverged from fresh build\nreused: %s\nfresh:  %s", i, got, want)
+				}
+				if sess.JunctionCurrent(0) != fresh.JunctionCurrent(0) {
+					t.Fatalf("point %d: currents differ: %g vs %g", i, sess.JunctionCurrent(0), fresh.JunctionCurrent(0))
+				}
+				fresh.Close()
+			}
+		})
+	}
+}
+
+// A superconducting session must rebuild its quasi-particle table
+// voltage range on Reset: the table bucket depends on the source
+// magnitudes, and a reused session biased far from its compile point
+// must still match a fresh build bit-for-bit.
+func TestResetMatchesFreshSuper(t *testing.T) {
+	sup := circuit.SuperParams{GapAt0: units.MeV(0.23), Tc: 1.4}
+	base, nd := resetSET(0.0001, -0.0001, 0, sup)
+	opt := Options{Temp: 0.5, Seed: 5}
+	sess, err := New(base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	// A bias point large enough to land in a different vmax bucket than
+	// the compile point's.
+	const vs, vd, vg = 0.0035, -0.0035, 0.0008
+	fresh, _ := func() (*Sim, circuit.SETNodes) {
+		c, n := resetSET(vs, vd, vg, sup)
+		s, err := New(c, Options{Temp: 0.5, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, n
+	}()
+	defer fresh.Close()
+	if _, err := fresh.Run(800, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Reset(77, map[int]float64{nd.Source: vs, nd.Drain: vd, nd.Gate: vg}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(800, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprint(t, sess), fingerprint(t, fresh); got != want {
+		t.Fatalf("superconducting reused-session trajectory diverged from fresh build\nreused: %s\nfresh:  %s", got, want)
+	}
+}
+
+// A checkpoint taken from a fresh build must restore into a reused
+// session (after Reset installed the same bias point) and land on the
+// identical continuation — the property that lets the jobs engine
+// resume interrupted tasks through its per-worker session cache.
+func TestResetThenRestoreMatchesFresh(t *testing.T) {
+	const vs, vd, vg = 0.018, -0.021, 0.004
+	mkFresh := func() (*Sim, circuit.SETNodes) {
+		c, n := resetSET(vs, vd, vg, circuit.SuperParams{})
+		s, err := New(c, Options{Temp: 5, Seed: 31, Adaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, n
+	}
+	ref, _ := mkFresh()
+	defer ref.Close()
+	if _, err := ref.Run(3*1024, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted fresh run: snapshot at a refresh boundary.
+	a, _ := mkFresh()
+	defer a.Close()
+	if _, err := a.Run(1024, 0); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume inside a reused session compiled at a different bias.
+	base, nd := resetSET(0.05, -0.001, 0.02, circuit.SuperParams{})
+	sess, err := New(base, Options{Temp: 5, Seed: 999, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Run(500, 0); err != nil { // dirty the session first
+		t.Fatal(err)
+	}
+	if err := sess.Reset(31, map[int]float64{nd.Source: vs, nd.Drain: vd, nd.Gate: vg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(2*1024, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprint(t, sess), fingerprint(t, ref); got != want {
+		t.Fatalf("restore-into-reused-session diverged from uninterrupted fresh run\nreused: %s\nfresh:  %s", got, want)
+	}
+}
+
+// Reset must refuse overrides on nodes that are not DC-driven externals.
+func TestResetOverrideValidation(t *testing.T) {
+	c, nd := resetSET(0.02, -0.02, 0, circuit.SuperParams{})
+	s, err := New(c, Options{Temp: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Reset(2, map[int]float64{nd.Island: 0.01}); err == nil {
+		t.Fatal("override on an island node accepted")
+	}
+	if err := s.Reset(3, map[int]float64{-1: 0.01}); err == nil {
+		t.Fatal("override on a bogus node id accepted")
+	}
+	// A failed Reset must not leave the Sim unusable.
+	if err := s.Reset(4, map[int]float64{nd.Gate: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(100, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Probes survive Reset: the recorded waveform restarts from a fresh
+// t = 0 sample exactly as New followed by AddProbe would produce.
+func TestResetRewindsProbes(t *testing.T) {
+	const vg = 0.007
+	freshC, fnd := resetSET(0.02, -0.02, vg, circuit.SuperParams{})
+	fresh, err := New(freshC, Options{Temp: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	fresh.AddProbe(fnd.Island)
+	if _, err := fresh.Run(600, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	base, nd := resetSET(0.02, -0.02, 0, circuit.SuperParams{})
+	sess, err := New(base, Options{Temp: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.AddProbe(nd.Island)
+	if _, err := sess.Run(400, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Reset(11, map[int]float64{nd.Gate: vg}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(600, 0); err != nil {
+		t.Fatal(err)
+	}
+	wf, ws := fresh.Waveform(fnd.Island), sess.Waveform(nd.Island)
+	if len(wf) != len(ws) {
+		t.Fatalf("waveform lengths differ: fresh %d, reused %d", len(wf), len(ws))
+	}
+	for i := range wf {
+		if wf[i] != ws[i] {
+			t.Fatalf("waveform sample %d differs: %+v vs %+v", i, wf[i], ws[i])
+		}
+	}
+}

@@ -281,7 +281,18 @@ type Sim struct {
 	coopJunc               []int32
 	coopShiftA, coopShiftB []float64
 
-	// extV caches SourceVoltage(id, t) per external index, refreshed
+	// Per-Sim DC source override layer, installed by Reset so a sweep
+	// session can move bias points without recompiling the circuit:
+	// srcMask[e] marks external index e as overridden and srcOverride[e]
+	// holds its voltage. Every solver-internal source read goes through
+	// sourceVoltage/externalVoltages, which substitute these values, so
+	// an overridden run computes exactly the floats of a run over a
+	// circuit compiled with the same DC values. Nil until the first
+	// Reset that overrides anything.
+	srcOverride []float64
+	srcMask     []bool
+
+	// extV caches the external voltages per external index, refreshed
 	// whenever t moves, so rate kernels read array slots instead of
 	// dispatching into Source implementations per evaluation.
 	extIDs []int
@@ -729,7 +740,7 @@ func (s *Sim) buildSuper() error {
 	// (correct) ohmic asymptote.
 	maxSrc := 0.0
 	for _, id := range s.c.Externals() {
-		v := math.Abs(s.c.SourceVoltage(id, 0))
+		v := math.Abs(s.sourceVoltage(id, 0))
 		if v > maxSrc {
 			maxSrc = v
 		}

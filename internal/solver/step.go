@@ -29,7 +29,36 @@ func (s *Sim) nodeV(node int) float64 {
 	if k := s.c.IslandIndex(node); k >= 0 {
 		return s.v[k]
 	}
-	return s.c.SourceVoltage(node, s.t)
+	return s.sourceVoltage(node, s.t)
+}
+
+// sourceVoltage is the override-aware replacement for
+// circuit.SourceVoltage inside the solver: it returns the voltage of
+// external node id at time t, substituting any per-Sim DC override
+// installed by Reset. The substituted value is the exact float a
+// circuit compiled with that DC source would produce, so overridden and
+// recompiled runs are bit-identical.
+func (s *Sim) sourceVoltage(id int, t float64) float64 {
+	if s.srcMask != nil {
+		if e := s.extIdxOf[id]; e >= 0 && s.srcMask[e] {
+			return s.srcOverride[e]
+		}
+	}
+	return s.c.SourceVoltage(id, t)
+}
+
+// externalVoltages fills dst (allocated when nil) with every external
+// voltage at time t, in external order, honouring per-Sim DC overrides.
+func (s *Sim) externalVoltages(dst []float64, t float64) []float64 {
+	dst = s.c.ExternalVoltages(dst, t)
+	if s.srcMask != nil {
+		for e, on := range s.srcMask {
+			if on {
+				dst[e] = s.srcOverride[e]
+			}
+		}
+	}
+	return dst
 }
 
 // pick resolves a precomputed (island index, external index) node
@@ -53,7 +82,7 @@ func (s *Sim) refreshExtV() {
 		return
 	}
 	for i, id := range s.extIDs {
-		s.extV[i] = s.c.SourceVoltage(id, s.t)
+		s.extV[i] = s.sourceVoltage(id, s.t)
 	}
 	s.extVFresh = true
 }
@@ -391,7 +420,7 @@ func (s *Sim) fullRefresh() {
 		s.debugCheckPotentialDrift()
 	}
 	s.stats.FullRefreshes++
-	s.vext = s.c.ExternalVoltages(s.vext, s.t)
+	s.vext = s.externalVoltages(s.vext, s.t)
 	s.refreshExtV()
 	s.refreshPotentials()
 	if s.pe.Truncated() {
@@ -531,7 +560,7 @@ func (s *Sim) adaptiveUpdate(ci int, visited []uint32, stamp uint32, queue []int
 // junction rates are either all recomputed (non-adaptive) or tested
 // from the junctions in contact with the changed inputs (adaptive).
 func (s *Sim) handleInputChange(visited []uint32, stamp uint32, queue []int) []int {
-	vextNew := s.c.ExternalVoltages(s.vextScratch, s.t)
+	vextNew := s.externalVoltages(s.vextScratch, s.t)
 	changed := false
 	for i := range vextNew {
 		if !numeric.SameBits(vextNew[i], s.vext[i]) {

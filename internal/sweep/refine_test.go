@@ -1,0 +1,180 @@
+package sweep
+
+import (
+	"testing"
+
+	"semsim/internal/numeric"
+	"semsim/internal/solver"
+)
+
+func refineCfg(seed uint64) Config {
+	return Config{Options: solver.Options{Temp: 5, Seed: seed}, WarmEvents: 300, Events: 2000}
+}
+
+func TestRefineAxis(t *testing.T) {
+	fine := RefineAxis([]float64{0, 1, 2}, 2)
+	want := []float64{0, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 1.75, 2}
+	if len(fine) != len(want) {
+		t.Fatalf("len = %d, want %d", len(fine), len(want))
+	}
+	for i := range want {
+		if fine[i] != want[i] {
+			t.Fatalf("fine[%d] = %g, want %g", i, fine[i], want[i])
+		}
+	}
+	// Coarse values must land exactly (bitwise) on aligned indices.
+	coarse := []float64{-0.0413, 0.00171, 0.0299}
+	fine = RefineAxis(coarse, 3)
+	for i, v := range coarse {
+		if fine[i<<3] != v {
+			t.Fatalf("coarse value %d not preserved: %g vs %g", i, fine[i<<3], v)
+		}
+	}
+}
+
+// Refinement must find the Coulomb-diamond structure: it simulates far
+// fewer points than the uniform fine grid, and every point it does
+// simulate is bit-identical to the uniform fine map's at the same
+// fine-lattice coordinate (same positional seed, same trajectory).
+func TestMap2DRefinedMatchesUniformFine(t *testing.T) {
+	xs := numeric.Linspace(-0.06, 0.06, 5)
+	ys := numeric.Linspace(0, 0.0534, 4)
+	cfg := refineCfg(33)
+	rc := RefineConfig{Depth: 2, Threshold: 0.1}
+	m, err := Map2DRefined(sessionSET(cfg), xs, ys, cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Xs) != (len(xs)-1)*4+1 || len(m.Ys) != (len(ys)-1)*4+1 {
+		t.Fatalf("fine lattice %dx%d", len(m.Xs), len(m.Ys))
+	}
+	if m.PointsTotal != len(m.Xs)*len(m.Ys) {
+		t.Fatalf("PointsTotal = %d", m.PointsTotal)
+	}
+	if m.PointsSimulated >= m.PointsTotal {
+		t.Fatalf("refinement simulated the whole lattice: %d of %d", m.PointsSimulated, m.PointsTotal)
+	}
+	if m.PointsSimulated < len(xs)*len(ys) {
+		t.Fatalf("refinement simulated fewer than the coarse grid: %d", m.PointsSimulated)
+	}
+	uniform, err := Map2DSession(sessionSET(cfg), m.Xs, m.Ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checked int
+	for iy := range m.I {
+		for ix := range m.I[iy] {
+			if !m.Simulated[iy][ix] {
+				continue
+			}
+			if m.I[iy][ix] != uniform[iy][ix] {
+				t.Fatalf("simulated point (%d,%d): refined %g != uniform %g",
+					ix, iy, m.I[iy][ix], uniform[iy][ix])
+			}
+			checked++
+		}
+	}
+	if checked != m.PointsSimulated {
+		t.Fatalf("Simulated mask count %d != PointsSimulated %d", checked, m.PointsSimulated)
+	}
+}
+
+// The refined map must be identical at any worker count: refinement
+// decisions are level-synchronized and seeds are positional.
+func TestMap2DRefinedDeterministicUnderParallelism(t *testing.T) {
+	xs := numeric.Linspace(-0.05, 0.05, 4)
+	ys := numeric.Linspace(0, 0.04, 3)
+	rc := RefineConfig{Depth: 2}
+	run := func(par int) *RefinedMap {
+		cfg := refineCfg(17)
+		cfg.Parallel = par
+		m, err := Map2DRefined(sessionSET(cfg), xs, ys, cfg, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(1), run(7)
+	if a.PointsSimulated != b.PointsSimulated {
+		t.Fatalf("simulated point counts differ: %d vs %d", a.PointsSimulated, b.PointsSimulated)
+	}
+	for iy := range a.I {
+		for ix := range a.I[iy] {
+			if a.I[iy][ix] != b.I[iy][ix] || a.Simulated[iy][ix] != b.Simulated[iy][ix] {
+				t.Fatalf("point (%d,%d) differs across parallelism: %g/%v vs %g/%v",
+					ix, iy, a.I[iy][ix], a.Simulated[iy][ix], b.I[iy][ix], b.Simulated[iy][ix])
+			}
+		}
+	}
+}
+
+func TestMap2DRefinedFillsWholeLattice(t *testing.T) {
+	xs := numeric.Linspace(-0.05, 0.05, 4)
+	ys := numeric.Linspace(0, 0.04, 3)
+	cfg := refineCfg(3)
+	m, err := Map2DRefined(sessionSET(cfg), xs, ys, cfg, RefineConfig{Depth: 3, Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolated points must lie within the range of the simulated
+	// values (dyadic averaging cannot extrapolate).
+	lo, hi := m.I[0][0], m.I[0][0]
+	for iy := range m.I {
+		for ix := range m.I[iy] {
+			if m.Simulated[iy][ix] {
+				if m.I[iy][ix] < lo {
+					lo = m.I[iy][ix]
+				}
+				if m.I[iy][ix] > hi {
+					hi = m.I[iy][ix]
+				}
+			}
+		}
+	}
+	for iy := range m.I {
+		for ix := range m.I[iy] {
+			if m.I[iy][ix] < lo || m.I[iy][ix] > hi {
+				t.Fatalf("interpolated point (%d,%d)=%g outside simulated range [%g, %g]",
+					ix, iy, m.I[iy][ix], lo, hi)
+			}
+		}
+	}
+}
+
+func TestMap2DRefinedMaxPoints(t *testing.T) {
+	xs := numeric.Linspace(-0.06, 0.06, 4)
+	ys := numeric.Linspace(0, 0.05, 4)
+	cfg := refineCfg(5)
+	cap := len(xs)*len(ys) + 7
+	m, err := Map2DRefined(sessionSET(cfg), xs, ys, cfg, RefineConfig{Depth: 2, MaxPoints: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PointsSimulated > cap {
+		t.Fatalf("MaxPoints=%d exceeded: simulated %d", cap, m.PointsSimulated)
+	}
+}
+
+func TestMap2DRefinedDepthZero(t *testing.T) {
+	xs := numeric.Linspace(-0.04, 0.04, 5)
+	ys := []float64{0, 0.0267}
+	cfg := refineCfg(11)
+	m, err := Map2DRefined(sessionSET(cfg), xs, ys, cfg, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PointsSimulated != len(xs)*len(ys) || m.PointsSimulated != m.PointsTotal {
+		t.Fatalf("depth 0 must simulate exactly the coarse grid: %d of %d", m.PointsSimulated, m.PointsTotal)
+	}
+	grid, err := Map2DSession(sessionSET(cfg), xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iy := range grid {
+		for ix := range grid[iy] {
+			if m.I[iy][ix] != grid[iy][ix] {
+				t.Fatalf("depth-0 refined map differs from Map2DSession at (%d,%d)", ix, iy)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"errors"
+	"testing"
+
+	"semsim/internal/circuit"
+	"semsim/internal/numeric"
+	"semsim/internal/solver"
+)
+
+// sessionSET builds the standard test SET once, biased at an arbitrary
+// point, with the overrides mapping (x=Vds, y=Vg) onto its sources.
+func sessionSET(cfg Config) SessionFunc {
+	return func() (*Session, error) {
+		c, nd := circuit.NewSET(circuit.SETConfig{
+			R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+			Vs: 0.04, Vd: -0.01, Vg: 0.02, // never a sweep point: overrides must win
+		})
+		over := func(x, y float64) map[int]float64 {
+			return map[int]float64{nd.Source: x / 2, nd.Drain: -x / 2, nd.Gate: y}
+		}
+		return NewSession(c, nd.JuncDrain, over, cfg)
+	}
+}
+
+// The tentpole guarantee at the sweep layer: a compile-once session
+// sweep must reproduce the rebuild-per-point sweep bit for bit.
+func TestIVSessionMatchesIV(t *testing.T) {
+	xs := numeric.Linspace(-0.04, 0.04, 9)
+	cfg := Config{Options: solver.Options{Temp: 5, Seed: 42}, WarmEvents: 500, Events: 3000}
+	fresh, err := IV(buildSET, xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := IVSession(sessionSET(cfg), xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if fresh[i] != reused[i] {
+			t.Fatalf("point %d: session %+v != rebuild %+v", i, reused[i], fresh[i])
+		}
+	}
+}
+
+func TestMap2DSessionMatchesMap2D(t *testing.T) {
+	xs := numeric.Linspace(-0.03, 0.03, 5)
+	ys := []float64{0, 0.0134, 0.0267}
+	cfg := Config{Options: solver.Options{Temp: 5, Seed: 9}, WarmEvents: 300, Events: 2000}
+	build := func(x, y float64) (*circuit.Circuit, int, error) {
+		c, nd := circuit.NewSET(circuit.SETConfig{
+			R1: 1e6, C1: aF, R2: 1e6, C2: aF, Cg: 3 * aF,
+			Vs: x / 2, Vd: -x / 2, Vg: y,
+		})
+		return c, nd.JuncDrain, nil
+	}
+	fresh, err := Map2D(build, xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := Map2DSession(sessionSET(cfg), xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iy := range fresh {
+		for ix := range fresh[iy] {
+			if fresh[iy][ix] != reused[iy][ix] {
+				t.Fatalf("grid[%d][%d]: session %g != rebuild %g", iy, ix, reused[iy][ix], fresh[iy][ix])
+			}
+		}
+	}
+}
+
+func TestIVSessionDeterministicUnderParallelism(t *testing.T) {
+	xs := numeric.Linspace(-0.04, 0.04, 7)
+	cfg := Config{Options: solver.Options{Temp: 5, Seed: 7}, WarmEvents: 500, Events: 3000}
+	cfg.Parallel = 1
+	a, err := IVSession(sessionSET(cfg), xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 8
+	b, err := IVSession(sessionSET(cfg), xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs across parallelism: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSessionPropagatesErrors(t *testing.T) {
+	boom := errors.New("no session")
+	_, err := IVSession(func() (*Session, error) { return nil, boom }, []float64{0, 0.01}, Config{
+		Options: solver.Options{Temp: 5}, Events: 10,
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("session build error lost: %v", err)
+	}
+
+	// A failing point carries a full PointError, as in the rebuild path.
+	cfg := Config{Options: solver.Options{Temp: 5, Seed: 1}, Events: 100}
+	mk := sessionSET(cfg)
+	_, err = IVSession(func() (*Session, error) {
+		s, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		// Override an island node: Reset rejects it at every point.
+		s.over = func(x, y float64) map[int]float64 {
+			return map[int]float64{-1: x}
+		}
+		return s, nil
+	}, []float64{0.01, 0.02}, cfg)
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("point failure not a *PointError: %v", err)
+	}
+}

@@ -73,12 +73,10 @@ func IV(build BuildFunc, xs []float64, cfg Config) ([]Point, error) {
 // sweeps promptly.
 func IVCtx(ctx context.Context, build BuildFunc, xs []float64, cfg Config) ([]Point, error) {
 	defer obs.GlobalSpan("sweep.iv").End()
+	obs.Global().SweepTotal(len(xs))
 	pts := make([]Point, len(xs))
 	errs := make([]error, len(xs))
-	par := cfg.Parallel
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
+	par := parallelism(cfg)
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < par; w++ {
@@ -110,27 +108,46 @@ func IVCtx(ctx context.Context, build BuildFunc, xs []float64, cfg Config) ([]Po
 	return pts, nil
 }
 
-func runPoint(build BuildFunc, x float64, idx int, cfg Config) (Point, error) {
-	defer obs.GlobalSpan("sweep.point").End()
-	if o := obs.Global(); o != nil {
-		defer o.Registry().Counter("sweep.points_done").Add(1)
+// parallelism resolves the worker count for a sweep.
+func parallelism(cfg Config) int {
+	if cfg.Parallel > 0 {
+		return cfg.Parallel
 	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// pointOptions derives the per-point solver options: deterministic seed
+// from the flat point index, and serial execution by default (the sweep
+// already runs one simulation per CPU; per-point worker pools would
+// only oversubscribe).
+func pointOptions(cfg Config, idx int) solver.Options {
+	opt := cfg.Options
+	opt.Seed += uint64(idx)
+	if opt.Parallel == 0 {
+		opt.Parallel = 1
+	}
+	return opt
+}
+
+func runPoint(build BuildFunc, x float64, idx int, cfg Config) (Point, error) {
 	c, junc, err := build(x)
 	if err != nil {
 		return Point{}, err
 	}
-	opt := cfg.Options
-	opt.Seed += uint64(idx)
-	if opt.Parallel == 0 {
-		// The sweep already runs one simulation per CPU; per-point worker
-		// pools would only oversubscribe, so default each point to serial.
-		opt.Parallel = 1
-	}
-	s, err := solver.New(c, opt)
+	s, err := solver.New(c, pointOptions(cfg, idx))
 	if err != nil {
 		return Point{}, err
 	}
 	defer s.Close()
+	return measurePoint(s, junc, x, cfg)
+}
+
+// measurePoint is the measurement phase shared by the rebuild path
+// (runPoint) and the compile-once session path (Session.RunPoint): warm
+// up, reset the measurement window, run, read the junction current.
+func measurePoint(s *solver.Sim, junc int, x float64, cfg Config) (Point, error) {
+	defer obs.GlobalSpan("sweep.point").End()
+	defer obs.Global().SweepPointDone()
 	if _, err := s.Run(cfg.WarmEvents, cfg.MaxTime/5); err != nil {
 		if err == solver.ErrBlockaded {
 			return Point{X: x, I: 0, Blockaded: true}, nil
@@ -174,6 +191,22 @@ func Conductance(pts []Point) []Point {
 // Build2DFunc constructs a circuit for a (x, y) grid point.
 type Build2DFunc func(x, y float64) (*circuit.Circuit, int, error)
 
+// runPoint2D is runPoint for grid points; calling build directly (rather
+// than adapting it through a BuildFunc closure) keeps the per-point path
+// allocation-free outside the solver itself.
+func runPoint2D(build Build2DFunc, x, y float64, idx int, cfg Config) (Point, error) {
+	c, junc, err := build(x, y)
+	if err != nil {
+		return Point{}, err
+	}
+	s, err := solver.New(c, pointOptions(cfg, idx))
+	if err != nil {
+		return Point{}, err
+	}
+	defer s.Close()
+	return measurePoint(s, junc, x, cfg)
+}
+
 // Map2D computes the current on a ys-by-xs grid (row-major: result[iy][ix]),
 // the shape of the paper's Fig. 5 contour data.
 func Map2D(build Build2DFunc, xs, ys []float64, cfg Config) ([][]float64, error) {
@@ -184,6 +217,7 @@ func Map2D(build Build2DFunc, xs, ys []float64, cfg Config) ([][]float64, error)
 // canceled grids stop scheduling new points and return ctx's error.
 func Map2DCtx(ctx context.Context, build Build2DFunc, xs, ys []float64, cfg Config) ([][]float64, error) {
 	defer obs.GlobalSpan("sweep.map2d").End()
+	obs.Global().SweepTotal(len(xs) * len(ys))
 	grid := make([][]float64, len(ys))
 	for iy := range grid {
 		grid[iy] = make([]float64, len(xs))
@@ -191,10 +225,7 @@ func Map2DCtx(ctx context.Context, build Build2DFunc, xs, ys []float64, cfg Conf
 	type job struct{ ix, iy int }
 	jobs := make(chan job)
 	errs := make([]error, len(xs)*len(ys))
-	par := cfg.Parallel
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
+	par := parallelism(cfg)
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
@@ -206,9 +237,7 @@ func Map2DCtx(ctx context.Context, build Build2DFunc, xs, ys []float64, cfg Conf
 					errs[idx] = ctx.Err()
 					continue
 				}
-				pt, err := runPoint(func(v float64) (*circuit.Circuit, int, error) {
-					return build(xs[j.ix], ys[j.iy])
-				}, xs[j.ix], idx, cfg)
+				pt, err := runPoint2D(build, xs[j.ix], ys[j.iy], idx, cfg)
 				if err != nil {
 					errs[idx] = err
 					continue

@@ -182,6 +182,54 @@ func Map2D(build Build2DFunc, xs, ys []float64, cfg SweepConfig) ([][]float64, e
 	return sweep.Map2D(build, xs, ys, cfg)
 }
 
+// Compile-once sweep sessions and adaptive mesh refinement: each worker
+// builds one simulator and re-seeds it per point (bit-identical to
+// rebuilding), and stability maps refine the grid only where the
+// current shows contrast. See DESIGN.md §14.
+type (
+	// SweepSession is a reusable compiled circuit + solver for many
+	// operating points.
+	SweepSession = sweep.Session
+	// SweepSessionFunc builds one session per sweep worker.
+	SweepSessionFunc = sweep.SessionFunc
+	// SweepOverrideFunc maps a sweep coordinate to per-node DC overrides.
+	SweepOverrideFunc = sweep.OverrideFunc
+	// RefineConfig tunes adaptive mesh refinement (depth, threshold, cap).
+	RefineConfig = sweep.RefineConfig
+	// RefinedMap is an adaptively refined stability map on the fine
+	// lattice, with its simulated-point mask.
+	RefinedMap = sweep.RefinedMap
+)
+
+// NewSweepSession compiles a circuit once for reuse across many sweep
+// points; junc is the circuit junction to measure and over maps each
+// (x, y) coordinate to DC source overrides (circuit node -> volts).
+func NewSweepSession(base *Circuit, junc int, over SweepOverrideFunc, cfg SweepConfig) (*SweepSession, error) {
+	return sweep.NewSession(base, junc, over, cfg)
+}
+
+// IVSession is IV with compile-once solver reuse per worker.
+func IVSession(newSession SweepSessionFunc, xs []float64, cfg SweepConfig) ([]SweepPoint, error) {
+	return sweep.IVSession(newSession, xs, cfg)
+}
+
+// Map2DSession is Map2D with compile-once solver reuse per worker.
+func Map2DSession(newSession SweepSessionFunc, xs, ys []float64, cfg SweepConfig) ([][]float64, error) {
+	return sweep.Map2DSession(newSession, xs, ys, cfg)
+}
+
+// Map2DRefined computes a stability map with compile-once reuse and
+// adaptive mesh refinement: the coarse xs×ys grid everywhere, fine
+// points only where neighbouring currents disagree. Simulated points
+// are bit-identical to a uniform fine map's, at any worker count.
+func Map2DRefined(newSession SweepSessionFunc, xs, ys []float64, cfg SweepConfig, rc RefineConfig) (*RefinedMap, error) {
+	return sweep.Map2DRefined(newSession, xs, ys, cfg, rc)
+}
+
+// RefineAxis subdivides each interval of vs into 2^depth equal steps —
+// the fine lattice a RefinedMap lives on.
+func RefineAxis(vs []float64, depth int) []float64 { return sweep.RefineAxis(vs, depth) }
+
 // Observability: a metrics registry, a structured run journal with
 // Chrome trace_event export, phase spans and an optional live HTTP
 // endpoint (metrics + pprof). Observation is passive — instrumented
