@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test unit race bench zero-alloc rate-engine bench-compare potential-engine obs-overhead sweep-engine experiments quick-experiments fmt vet lint debug fuzz docs-verify
+.PHONY: all build test unit race bench zero-alloc rate-engine bench-compare potential-engine obs-overhead sweep-engine noise-bench experiments quick-experiments fmt vet lint debug fuzz docs-verify
 
 all: build test
 
@@ -37,12 +37,15 @@ docs-verify: bin/semsimlint
 
 # Disabled observability must stay literally free (nil-receiver hooks
 # at 0 allocs/op), and so must the per-event potential update of both
-# engines (dense row pass and sparse nonzero walk) and the solver's
-# whole steady-state event loop (flush, sample, apply, recompute).
+# engines (dense row pass and sparse nonzero walk), the solver's whole
+# steady-state event loop (flush, sample, apply, recompute) and the
+# noise/FCS recording path (windows, spectral sums, autocorrelation).
 zero-alloc:
 	go test -run TestObsDisabledZeroAlloc -bench=ObsDisabled -benchmem ./internal/obs/
 	go test -run TestPotentialShiftZeroAlloc ./internal/circuit/
 	go test -run TestStepHotPathZeroAlloc ./internal/solver/
+	go test -run TestNoiseHotPathZeroAlloc ./internal/solver/
+	go test -run TestAddZeroAlloc ./internal/noise/
 
 # One testing.B benchmark per paper figure, plus ablations and
 # per-package microbenchmarks.
@@ -83,6 +86,14 @@ obs-overhead:
 sweep-engine:
 	go run ./cmd/experiments sweep-engine
 	go run ./cmd/benchcmp -sweep results/BENCH_sweep_engine.json
+
+# Streaming noise-recording overhead on c432 (plain current recording
+# vs counting-window cumulants on every junction vs the full spectral
+# estimator, same seed) -> results/BENCH_noise.json, then gate it: the
+# recording modes must cost < 5% and run the identical trajectory.
+noise-bench:
+	go run ./cmd/experiments noise-bench
+	go run ./cmd/benchcmp -noise results/BENCH_noise.json
 
 # Regenerate every figure of the paper into ./results (see
 # EXPERIMENTS.md). The full run takes hours on one core; use

@@ -16,6 +16,10 @@
 //	                            and adaptive refinement must simulate
 //	                            >= 4x fewer points than the uniform
 //	                            fine lattice
+//	benchcmp -noise SNAP.json   gate a noise-overhead snapshot: the
+//	                            counting-window and spectral recording
+//	                            modes must cost < 5% over plain current
+//	                            recording on the identical trajectory
 //
 // With two files it prints old vs new events/s and the speedup for
 // every (benchmark, mode, workers, kernel) configuration, matching rows
@@ -44,6 +48,10 @@ func main() {
 // relative to a bare solver run.
 const obsBudgetPct = 5.0
 
+// noiseBudgetPct bounds what streaming noise accumulation may cost
+// relative to plain current recording.
+const noiseBudgetPct = 5.0
+
 // Sweep-engine floors: compile-once reuse must beat per-point rebuild
 // by sweepMinSpeedup in points/s, and refinement must simulate
 // sweepMinSavings times fewer points than the uniform fine lattice.
@@ -59,6 +67,12 @@ func run(args []string) error {
 		}
 		return gateObs(args[1])
 	}
+	if len(args) >= 1 && args[0] == "-noise" {
+		if len(args) != 2 {
+			return fmt.Errorf("usage: benchcmp -noise SNAP.json")
+		}
+		return gateNoise(args[1])
+	}
 	if len(args) >= 1 && args[0] == "-sweep" {
 		if len(args) != 2 {
 			return fmt.Errorf("usage: benchcmp -sweep SNAP.json")
@@ -66,7 +80,7 @@ func run(args []string) error {
 		return gateSweep(args[1])
 	}
 	if len(args) < 1 || len(args) > 2 {
-		return fmt.Errorf("usage: benchcmp [-obs|-sweep] [OLD.json] NEW.json")
+		return fmt.Errorf("usage: benchcmp [-obs|-sweep|-noise] [OLD.json] NEW.json")
 	}
 	newest, err := bench.LoadRateEngineReports(args[len(args)-1])
 	if err != nil {
@@ -106,6 +120,26 @@ func gateObs(path string) error {
 		return fmt.Errorf("observability overhead gate failed (%d violation(s))", len(bad))
 	}
 	fmt.Printf("always-on observability under the %.0f%% budget, trajectories identical\n", obsBudgetPct)
+	return nil
+}
+
+// gateNoise applies the recording budget to a noise-overhead snapshot
+// — the gate behind `make noise-bench` and CI.
+func gateNoise(path string) error {
+	rep, err := bench.LoadNoiseOverheadReport(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Runs {
+		fmt.Printf("%-10s  %10.0f events/s  %+5.1f%% overhead\n", r.Mode, r.EventsPerSec, r.OverheadPct)
+	}
+	if bad := bench.CheckNoiseOverheadBudget(rep, noiseBudgetPct); len(bad) > 0 {
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", m)
+		}
+		return fmt.Errorf("noise recording gate failed (%d violation(s))", len(bad))
+	}
+	fmt.Printf("noise recording under the %.0f%% budget, trajectories identical\n", noiseBudgetPct)
 	return nil
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|potential-engine|obs-overhead|sweep-engine|all}
+//	experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|potential-engine|obs-overhead|sweep-engine|noise-bench|noise-spectroscopy|all}
 //
 // See EXPERIMENTS.md for the mapping to the paper and the measured
 // outcomes.
@@ -35,7 +35,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|potential-engine|obs-overhead|sweep-engine|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] {fig1b|fig1c|fig5|fig6|fig7|validate|ablation|rate-engine|potential-engine|obs-overhead|sweep-engine|noise-bench|noise-spectroscopy|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,6 +82,10 @@ func main() {
 		run("obs-overhead", obsOverhead)
 	case "sweep-engine":
 		run("sweep-engine", sweepEngine)
+	case "noise-bench":
+		run("noise-bench", noiseBench)
+	case "noise-spectroscopy":
+		run("noise-spectroscopy", noiseSpectroscopy)
 	case "all":
 		run("validate", validate)
 		run("fig1b", fig1b)

@@ -8,8 +8,11 @@
 //	semsim < input.cir
 //
 // Output columns: the swept source value (volts) followed by the
-// time-averaged current (amperes) of each recorded junction. Lines
-// starting with '#' describe the run.
+// time-averaged current (amperes) of each recorded junction. Decks
+// with `record noise` / `record fano` directives additionally get the
+// folded Fano factor (with its cross-run standard error) and one
+// spectral-density column per requested ω. Lines starting with '#'
+// describe the run.
 //
 // With -follow URL the command instead attaches to a job running on a
 // semsimd daemon and renders its live event stream (progress, task
@@ -24,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
@@ -40,6 +44,7 @@ func main() {
 	rateTables := flag.Bool("rate-tables", false, "evaluate normal-state rates through error-bounded interpolation tables (<1e-6 relative error)")
 	sparse := flag.Bool("sparse", false, "use the sparse locality-aware potential engine (bit-identical to dense at -cinv-eps 0)")
 	cinvEps := flag.Float64("cinv-eps", 0, "truncate C^-1 rows at eps*rowmax (implies -sparse; solver tracks a provable error bound)")
+	fanoWindow := flag.Float64("fano-window", 0, "fix the noise counting-window width in seconds, overriding deck windows and the auto calibration (never changes the trajectory)")
 	ckptDir := flag.String("checkpoint-dir", "", "persist periodic atomic checkpoints of every run in this directory (crash-safe; created if missing)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "target events between checkpoints (0 = default; rounded up to the solver refresh period)")
 	resume := flag.Bool("resume", false, "continue from checkpoints found in -checkpoint-dir (bit-identical to an uninterrupted run)")
@@ -121,6 +126,7 @@ func main() {
 		RateTables: *rateTables,
 		Sparse:     *sparse,
 		CinvEps:    *cinvEps,
+		FanoWindow: *fanoWindow,
 	}, semsim.DeckRunConfig{
 		Dir:     *ckptDir,
 		Every:   *ckptEvery,
@@ -153,9 +159,40 @@ func main() {
 		}
 		sort.Ints(juncs)
 	}
+	// Noise columns come from the deck's record noise/fano directives
+	// (not from the result points) so the layout is stable even when
+	// some points are fully blockaded: F and its standard error per
+	// noise-recorded junction, then one S column per requested ω.
+	type noiseCol struct {
+		j      int
+		omegas []float64
+	}
+	var ncols []noiseCol
+	{
+		seen := map[int]bool{}
+		for _, ns := range deck.Spec.NoiseJuncs {
+			seen[ns.Junc] = true
+			ncols = append(ncols, noiseCol{j: ns.Junc, omegas: ns.Omegas})
+		}
+		for _, fs := range deck.Spec.FanoJuncs {
+			if !seen[fs.Junc] {
+				seen[fs.Junc] = true
+				ncols = append(ncols, noiseCol{j: fs.Junc})
+			}
+		}
+	}
 	fmt.Fprintf(w, "# semsim run of %s\n", name)
 	fmt.Fprintf(w, "# temp=%g K adaptive=%v cotunnel=%v jumps=%d\n",
 		deck.Spec.Temp, deck.Spec.Adaptive, deck.Spec.Cotunnel, deck.Spec.Jumps)
+	for _, nc := range ncols {
+		if len(nc.omegas) > 0 {
+			fmt.Fprintf(w, "# noise junc%d omegas [rad/s]:", nc.j)
+			for _, om := range nc.omegas {
+				fmt.Fprintf(w, " %g", om)
+			}
+			fmt.Fprintln(w)
+		}
+	}
 	isMap := deck.Spec.Map != nil
 	if isMap {
 		fmt.Fprintf(w, "# columns: Vx Vy")
@@ -165,6 +202,12 @@ func main() {
 	for _, j := range juncs {
 		fmt.Fprintf(w, " I(junc%d)", j)
 	}
+	for _, nc := range ncols {
+		fmt.Fprintf(w, " F(junc%d) dF(junc%d)", nc.j, nc.j)
+		for k := range nc.omegas {
+			fmt.Fprintf(w, " S(junc%d,w%d)", nc.j, k)
+		}
+	}
 	fmt.Fprintln(w)
 	for _, p := range pts {
 		fmt.Fprintf(w, "%.8g", p.SweepV)
@@ -173,6 +216,17 @@ func main() {
 		}
 		for _, j := range juncs {
 			fmt.Fprintf(w, " %.6e", p.Current[j])
+		}
+		for _, nc := range ncols {
+			st := p.Noise[nc.j]
+			fmt.Fprintf(w, " %.6e %.6e", st.Fano, st.FanoErr)
+			for k := range nc.omegas {
+				v := math.NaN()
+				if k < len(st.S) {
+					v = st.S[k]
+				}
+				fmt.Fprintf(w, " %.6e", v)
+			}
 		}
 		if p.Blockaded {
 			fmt.Fprintf(w, " # blockaded")

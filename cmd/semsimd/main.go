@@ -57,6 +57,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock timeout (0 = unlimited)")
 	retries := flag.Int("retries", 0, "retries per task for transient failures (0 = default of 2, negative disables)")
 	resultCache := flag.Bool("result-cache", false, "keep per-task done markers after jobs finish so identical decks resubmitted later reuse completed results (needs -dir)")
+	fanoWindow := flag.Float64("fano-window", 0, "default counting-window width in seconds for noise-recording decks whose submission sets none (0 = deck windows / auto calibration)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a graceful shutdown may take before aborting")
 	traceOn := flag.Bool("trace-journal", false, "record the run journal (served at /trace)")
 	traceJSONL := flag.String("trace-jsonl", "", "additionally append every journal event to this JSONL file (implies -trace-journal)")
@@ -98,6 +99,7 @@ func main() {
 		JobTimeout:      *jobTimeout,
 		MaxRetries:      *retries,
 		ResultCache:     *resultCache,
+		FanoWindow:      *fanoWindow,
 		Obs:             o,
 	})
 

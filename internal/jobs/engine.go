@@ -57,6 +57,11 @@ type EngineConfig struct {
 	// RetryBackoff is the base delay before the first retry, doubling
 	// per attempt (0 = 250ms).
 	RetryBackoff time.Duration
+	// FanoWindow is the daemon-default counting-window width τ
+	// (seconds) for noise-recording decks, applied to submissions that
+	// leave Overrides.FanoWindow unset. 0 keeps the deck's windows (or
+	// the per-run auto calibration).
+	FanoWindow float64
 	// Obs receives engine metrics (jobs submitted/done/failed, retries);
 	// nil falls back to the process-global observer.
 	Obs *obs.Observer
@@ -233,6 +238,12 @@ func (e *Engine) Submit(d *netlist.Deck, ov Overrides) (*Job, error) {
 		// trajectory (or the checkpoint key), so this is purely a
 		// scheduling choice.
 		ov.Parallel = 1
+	}
+	if ov.FanoWindow == 0 {
+		// Daemon-default counting window: folded in before the deck key
+		// is derived, so checkpointed noise state stays bound to the τ
+		// it was accumulated under.
+		ov.FanoWindow = e.cfg.FanoWindow
 	}
 	key, err := deckKey(d, ov)
 	if err != nil {

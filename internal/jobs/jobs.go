@@ -39,6 +39,7 @@ import (
 	"sync"
 
 	"semsim/internal/netlist"
+	"semsim/internal/noise"
 	"semsim/internal/obs"
 	"semsim/internal/sweep"
 )
@@ -66,6 +67,13 @@ type Overrides struct {
 	// CinvEps, when > 0, truncates C^-1 rows at CinvEps*rowmax (implies
 	// Sparse) and overrides the deck's cinv-eps value.
 	CinvEps float64 `json:"cinv_eps,omitempty"`
+	// FanoWindow, when > 0, fixes the counting-window width τ (seconds)
+	// of every noise-recorded junction, overriding deck windows and the
+	// auto calibration. It never changes the trajectory — windows only
+	// shape the statistics derived from the event stream — but it is
+	// part of the deck key: checkpointed noise accumulators depend on
+	// it, so resumed state must have been produced under the same τ.
+	FanoWindow float64 `json:"fano_window,omitempty"`
 }
 
 // Point is one operating point of an executed deck: the swept source
@@ -83,6 +91,10 @@ type Point struct {
 	Blockaded bool `json:"blockaded,omitempty"`
 	// Events is the total measured tunnel events across runs.
 	Events uint64 `json:"events"`
+	// Noise holds the folded noise/FCS statistics per noise-recorded
+	// junction (keyed by netlist junction id); nil unless the deck has
+	// `record noise` or `record fano` directives.
+	Noise map[int]noise.Stats `json:"noise,omitempty"`
 }
 
 // RunConfig tunes deck execution. The zero value reproduces the
@@ -138,8 +150,8 @@ func deckKey(d *netlist.Deck, ov Overrides) (string, error) {
 	if err := d.Format(&buf); err != nil {
 		return "", err
 	}
-	fmt.Fprintf(&buf, "|rt=%v|sparse=%v|eps=%016x",
-		ov.RateTables, ov.Sparse, math.Float64bits(ov.CinvEps))
+	fmt.Fprintf(&buf, "|rt=%v|sparse=%v|eps=%016x|fw=%016x",
+		ov.RateTables, ov.Sparse, math.Float64bits(ov.CinvEps), math.Float64bits(ov.FanoWindow))
 	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(buf.Bytes())), nil
 }
 
@@ -284,6 +296,7 @@ func foldResults(spec *netlist.Spec, pts []deckPoint, results [][]runResult) []P
 	if spec.Map != nil {
 		sort.Slice(order, func(a, b int) bool { return pts[order[a]].Fine < pts[order[b]].Fine })
 	}
+	njs := noiseJuncs(spec)
 	out := make([]Point, len(pts))
 	for oi, i := range order {
 		p := pts[i]
@@ -299,9 +312,51 @@ func foldResults(spec *netlist.Spec, pts []deckPoint, results [][]runResult) []P
 				pt.Current[j] += r.Current[j] / float64(runs)
 			}
 		}
+		if len(njs) > 0 {
+			// Fold noise statistics in run order per junction — like the
+			// current fold, a fixed-order reduction of deterministic run
+			// results, so the outcome is schedule- and worker-invariant.
+			// Blockaded runs measured nothing and are skipped.
+			pt.Noise = make(map[int]noise.Stats, len(njs))
+			rs := make([]noise.RunStats, 0, runs)
+			for _, j := range njs {
+				rs = rs[:0]
+				for run := 0; run < runs; run++ {
+					r := results[i][run]
+					if r.Blockaded || r.Noise == nil {
+						continue
+					}
+					if st, ok := r.Noise[j]; ok {
+						rs = append(rs, st)
+					}
+				}
+				pt.Noise[j] = noise.Fold(rs)
+			}
+		}
 		out[oi] = pt
 	}
 	return out
+}
+
+// noiseJuncs lists the deck's noise-recorded netlist junction ids in
+// deck order, deduplicated (a junction may have both a noise and a
+// fano directive).
+func noiseJuncs(spec *netlist.Spec) []int {
+	var njs []int
+	seen := map[int]bool{}
+	add := func(j int) {
+		if !seen[j] {
+			seen[j] = true
+			njs = append(njs, j)
+		}
+	}
+	for _, ns := range spec.NoiseJuncs {
+		add(ns.Junc)
+	}
+	for _, fs := range spec.FanoJuncs {
+		add(fs.Junc)
+	}
+	return njs
 }
 
 // ExecuteDeck runs every (point, run) task of a deck and returns the

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"semsim/internal/netlist"
+	"semsim/internal/noise"
 	"semsim/internal/obs"
 	"semsim/internal/solver"
 )
@@ -24,12 +25,14 @@ const (
 )
 
 // runResult is one (point, run) task's contribution before folding:
-// raw measured currents (not yet divided by the run count) keyed by
-// netlist junction id.
+// raw measured currents (not yet divided by the run count) and, for
+// noise-recording decks, the run's finalized noise statistics, both
+// keyed by netlist junction id.
 type runResult struct {
 	Events    uint64
 	Current   map[int]float64
 	Blockaded bool
+	Noise     map[int]noise.RunStats `json:",omitempty"`
 }
 
 // transientError marks failures worth retrying with backoff — so far,
@@ -246,6 +249,48 @@ func (ds *deckSession) acquire(d *netlist.Deck, key string, opt solver.Options, 
 	return ds.sim, ds.cc, nil
 }
 
+// noiseConfig translates the deck's noise/fano directives into a
+// recorder configuration over circuit junction ids. A junction with
+// both directives gets one accumulator carrying the ω grid and the
+// fano window; ov.FanoWindow > 0 fixes every window, overriding deck
+// windows and the auto calibration.
+func noiseConfig(spec *netlist.Spec, ov Overrides, cc *netlist.Compiled) (noise.Config, error) {
+	var cfg noise.Config
+	at := map[int]int{} // netlist junction id -> cfg.Juncs index
+	add := func(j int) (int, error) {
+		if i, ok := at[j]; ok {
+			return i, nil
+		}
+		cj, ok := cc.Junc[j]
+		if !ok {
+			return 0, fmt.Errorf("semsim: deck records noise on unknown junction %d", j)
+		}
+		at[j] = len(cfg.Juncs)
+		cfg.Juncs = append(cfg.Juncs, noise.JuncConfig{Junc: cj})
+		return at[j], nil
+	}
+	for _, ns := range spec.NoiseJuncs {
+		i, err := add(ns.Junc)
+		if err != nil {
+			return noise.Config{}, err
+		}
+		cfg.Juncs[i].Omegas = append([]float64(nil), ns.Omegas...)
+	}
+	for _, fs := range spec.FanoJuncs {
+		i, err := add(fs.Junc)
+		if err != nil {
+			return noise.Config{}, err
+		}
+		cfg.Juncs[i].Window = fs.Window
+	}
+	if ov.FanoWindow > 0 {
+		for i := range cfg.Juncs {
+			cfg.Juncs[i].Window = ov.FanoWindow
+		}
+	}
+	return cfg, nil
+}
+
 // runDeckPoint executes one (point, run) task of a deck: install the
 // point's source values, run the warm-up transient, reset measurement,
 // run the measured window, and report the recorded junction currents.
@@ -300,6 +345,20 @@ func runDeckPoint(ctx context.Context, d *netlist.Deck, ov Overrides, key string
 			return runResult{}, err
 		}
 		defer s.Close()
+	}
+
+	// Noise recording must be configured before any possible Restore:
+	// checkpoints of noise-recording runs embed accumulator state and
+	// refuse to load into a simulation without a matching recorder.
+	njs := noiseJuncs(&spec)
+	if len(njs) > 0 {
+		ncfg, err := noiseConfig(&spec, ov, cc)
+		if err != nil {
+			return runResult{}, err
+		}
+		if err := s.EnableNoise(ncfg); err != nil {
+			return runResult{}, err
+		}
 	}
 
 	p := newPhaseRunner(ctx, s, cfg)
@@ -382,6 +441,13 @@ func runDeckPoint(ctx context.Context, d *netlist.Deck, ov Overrides, key string
 		if err != nil {
 			return runResult{}, err
 		}
+		// Calibrate auto counting windows from the warm-up rate before
+		// the measurement window opens. Deterministic: the warm phase's
+		// event count and elapsed time are trajectory state, identical on
+		// an uninterrupted run and across any drain/resume of the warm
+		// phase, so the derived τ — which then travels in checkpoints —
+		// is too.
+		s.AutoNoiseWindows()
 		s.ResetMeasurement()
 		phase, phaseStart = phaseMeasure, s.Stats().Events
 	}
@@ -404,6 +470,14 @@ func runDeckPoint(ctx context.Context, d *netlist.Deck, ov Overrides, key string
 			return runResult{}, fmt.Errorf("semsim: deck records unknown junction %d", j)
 		}
 		res.Current[j] = s.JunctionCurrent(cj)
+	}
+	if len(njs) > 0 {
+		res.Noise = make(map[int]noise.RunStats, len(njs))
+		for _, j := range njs {
+			if st, ok := s.NoiseStats(cc.Junc[j]); ok {
+				res.Noise[j] = st
+			}
+		}
 	}
 	return finish()
 }

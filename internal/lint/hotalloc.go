@@ -39,7 +39,7 @@ var Hotalloc = &Analyzer{
 	Run:  runHotalloc,
 }
 
-var hotallocPkgs = []string{"internal/solver", "internal/rng", "internal/numeric", "internal/obs"}
+var hotallocPkgs = []string{"internal/solver", "internal/rng", "internal/numeric", "internal/obs", "internal/noise"}
 
 func runHotalloc(pass *Pass) error {
 	if !pathHasSuffixAny(pass.Path, hotallocPkgs) {

@@ -66,6 +66,7 @@ var obsHotPkgs = []string{
 	"internal/numeric",
 	"internal/sweep",
 	"internal/jobs",
+	"internal/noise",
 }
 
 func runObsdiscipline(pass *Pass) error {

@@ -8,7 +8,8 @@ import (
 	"testing"
 )
 
-// deckDirectives is every directive keyword the parser understands.
+// deckDirectives is every directive keyword the parser understands,
+// including the compound `record noise` / `record fano` sub-forms.
 // Adding a case to (*Deck).directive without extending this list —
 // and documenting it in docs/DECK.md — fails TestDeckDocCoverage.
 var deckDirectives = []string{
@@ -16,7 +17,7 @@ var deckDirectives = []string{
 	"vdc", "vac", "vpwl", "symm",
 	"num",
 	"temp", "cotunnel", "super",
-	"record", "probe",
+	"record", "record noise", "record fano", "probe",
 	"jumps", "time", "sweep", "map", "refine", "seed",
 	"adaptive", "refresh",
 	"sparse", "cinv-eps", "parallel", "rate-tables",
@@ -98,7 +99,13 @@ func TestDeckDocCoverage(t *testing.T) {
 			if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "*") {
 				continue
 			}
-			used[strings.Fields(line)[0]] = true
+			f := strings.Fields(line)
+			used[f[0]] = true
+			// Compound directives are keyed on their first two tokens,
+			// so each sub-form needs its own runnable example.
+			if f[0] == "record" && len(f) > 1 && (f[1] == "noise" || f[1] == "fano") {
+				used[f[0]+" "+f[1]] = true
+			}
 		}
 	}
 	blob, err := os.ReadFile("../../docs/DECK.md")

@@ -119,6 +119,31 @@ type Spec struct {
 	Map         *MapSpec
 	RecordJuncs []int // netlist junction ids
 	ProbeNodes  []int // netlist node numbers
+	// NoiseJuncs and FanoJuncs carry the `record noise` and
+	// `record fano` directives: streaming spectral-density and
+	// counting-statistics estimators per junction (see internal/noise).
+	// Both forms imply plain recording, so their junctions also appear
+	// in RecordJuncs.
+	NoiseJuncs []NoiseSpec
+	FanoJuncs  []FanoSpec
+}
+
+// NoiseSpec is one `record noise` directive: estimate the current
+// spectral density S_I(ω) of a junction on an angular-frequency grid.
+// An empty grid records counting statistics only (Fano factor with an
+// auto-calibrated window).
+type NoiseSpec struct {
+	Junc   int
+	Omegas []float64 // rad/s, each > 0
+}
+
+// FanoSpec is one `record fano` directive: windowed full counting
+// statistics (mean, variance, Fano factor) of a junction. Window is
+// the counting-window width τ in seconds; 0 auto-calibrates it from
+// the warm-up event rate.
+type FanoSpec struct {
+	Junc   int
+	Window float64
 }
 
 type juncDef struct {
@@ -147,6 +172,19 @@ type Deck struct {
 	charges map[int]float64 // units of e
 
 	declJ, declExt, declNodes int // -1 when not declared
+}
+
+// recordJunc adds j to the plain record list unless already present:
+// noise and fano directives imply current recording, and the
+// append-if-missing keeps Parse(Format(d)) a fixpoint (Format writes
+// the full record line before the noise/fano lines).
+func (d *Deck) recordJunc(j int) {
+	for _, r := range d.Spec.RecordJuncs {
+		if r == j {
+			return
+		}
+	}
+	d.Spec.RecordJuncs = append(d.Spec.RecordJuncs, j)
 }
 
 // Parse reads a deck. Errors carry the offending line number.
@@ -355,12 +393,61 @@ func (d *Deck) directive(f []string, ln int) error {
 		if len(f) < 2 {
 			return bad("record needs at least one junction id")
 		}
-		for _, s := range f[1:] {
-			j, err := inum(s)
-			if err != nil {
-				return bad("record: malformed junction id %q", s)
+		switch f[1] {
+		case "noise":
+			if len(f) < 3 {
+				return bad("record noise needs: junction [omega ...]")
 			}
-			d.Spec.RecordJuncs = append(d.Spec.RecordJuncs, j)
+			j, err := inum(f[2])
+			if err != nil {
+				return bad("record noise: malformed junction id %q", f[2])
+			}
+			for _, ns := range d.Spec.NoiseJuncs {
+				if ns.Junc == j {
+					return bad("record noise: junction %d already has a noise directive", j)
+				}
+			}
+			ns := NoiseSpec{Junc: j}
+			for _, s := range f[3:] {
+				w, err := num(s)
+				if err != nil || !(w > 0) {
+					return bad("record noise: malformed angular frequency %q (rad/s, > 0)", s)
+				}
+				ns.Omegas = append(ns.Omegas, w)
+			}
+			d.Spec.NoiseJuncs = append(d.Spec.NoiseJuncs, ns)
+			d.recordJunc(j)
+		case "fano":
+			if len(f) != 3 && len(f) != 4 {
+				return bad("record fano needs: junction [window_seconds]")
+			}
+			j, err := inum(f[2])
+			if err != nil {
+				return bad("record fano: malformed junction id %q", f[2])
+			}
+			for _, fs := range d.Spec.FanoJuncs {
+				if fs.Junc == j {
+					return bad("record fano: junction %d already has a fano directive", j)
+				}
+			}
+			fs := FanoSpec{Junc: j}
+			if len(f) == 4 {
+				tau, err := num(f[3])
+				if err != nil || !(tau > 0) {
+					return bad("record fano: malformed window %q (seconds, > 0)", f[3])
+				}
+				fs.Window = tau
+			}
+			d.Spec.FanoJuncs = append(d.Spec.FanoJuncs, fs)
+			d.recordJunc(j)
+		default:
+			for _, s := range f[1:] {
+				j, err := inum(s)
+				if err != nil {
+					return bad("record: malformed junction id %q", s)
+				}
+				d.Spec.RecordJuncs = append(d.Spec.RecordJuncs, j)
+			}
 		}
 	case "probe":
 		if len(f) < 2 {

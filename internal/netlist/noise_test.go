@@ -1,0 +1,133 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// noiseDeck is paperDeck with noise recording: a spectral grid on
+// junction 1 and windowed counting statistics on junction 2.
+const noiseDeck = `
+junc 1 1 4 1e-6 1e-18
+junc 2 2 4 1e-6 1e-18
+cap 3 4 3e-18
+vdc 1 0.02
+vdc 2 -0.02
+vdc 3 0.0
+num j 2
+num ext 3
+num nodes 4
+temp 5
+record noise 1 1e8 2.5e8 1e9
+record fano 2 4e-9
+jumps 1000 1
+sweep 2 0.02 0.01
+`
+
+func TestRecordNoiseDirective(t *testing.T) {
+	d, err := Parse(strings.NewReader(noiseDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Spec.NoiseJuncs) != 1 {
+		t.Fatalf("NoiseJuncs = %+v, want one entry", d.Spec.NoiseJuncs)
+	}
+	ns := d.Spec.NoiseJuncs[0]
+	if ns.Junc != 1 || len(ns.Omegas) != 3 || ns.Omegas[0] != 1e8 || ns.Omegas[1] != 2.5e8 || ns.Omegas[2] != 1e9 {
+		t.Errorf("record noise parsed as %+v", ns)
+	}
+	if len(d.Spec.FanoJuncs) != 1 {
+		t.Fatalf("FanoJuncs = %+v, want one entry", d.Spec.FanoJuncs)
+	}
+	fs := d.Spec.FanoJuncs[0]
+	if fs.Junc != 2 || fs.Window != 4e-9 {
+		t.Errorf("record fano parsed as %+v", fs)
+	}
+	// Noise recording implies current recording on the same junctions,
+	// without duplicating ids.
+	if len(d.Spec.RecordJuncs) != 2 || d.Spec.RecordJuncs[0] != 1 || d.Spec.RecordJuncs[1] != 2 {
+		t.Errorf("RecordJuncs = %v, want [1 2]", d.Spec.RecordJuncs)
+	}
+	if _, err := d.Compile(nil); err != nil {
+		t.Fatalf("noise deck does not compile: %v", err)
+	}
+}
+
+// TestRecordNoiseFormatRoundTrip: the canonical writer must preserve
+// both directives bit-exactly through a Parse → Format → Parse cycle.
+func TestRecordNoiseFormatRoundTrip(t *testing.T) {
+	d, err := Parse(strings.NewReader(noiseDeck + "record fano 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v\n%s", err, buf.String())
+	}
+	if len(d2.Spec.NoiseJuncs) != 1 || len(d2.Spec.FanoJuncs) != 2 {
+		t.Fatalf("round trip lost directives: %+v %+v", d2.Spec.NoiseJuncs, d2.Spec.FanoJuncs)
+	}
+	for i, ns := range d.Spec.NoiseJuncs {
+		ns2 := d2.Spec.NoiseJuncs[i]
+		if ns2.Junc != ns.Junc || len(ns2.Omegas) != len(ns.Omegas) {
+			t.Fatalf("NoiseSpec %d changed: %+v -> %+v", i, ns, ns2)
+		}
+		for k := range ns.Omegas {
+			if ns2.Omegas[k] != ns.Omegas[k] {
+				t.Errorf("omega %d changed: %g -> %g", k, ns.Omegas[k], ns2.Omegas[k])
+			}
+		}
+	}
+	for i, fs := range d.Spec.FanoJuncs {
+		if d2.Spec.FanoJuncs[i] != fs {
+			t.Errorf("FanoSpec %d changed: %+v -> %+v", i, fs, d2.Spec.FanoJuncs[i])
+		}
+	}
+	var again bytes.Buffer
+	if err := d2.Format(&again); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != again.String() {
+		t.Errorf("Format not a fixpoint:\n%s\nvs\n%s", buf.String(), again.String())
+	}
+}
+
+func TestRecordNoiseErrors(t *testing.T) {
+	base := `
+junc 1 1 3 1e-6 1e-18
+junc 2 2 3 1e-6 1e-18
+vdc 1 0.02
+vdc 2 -0.02
+num j 2
+num ext 2
+num nodes 3
+jumps 100 1
+sweep 1 0.02 0.01
+`
+	cases := map[string]string{
+		"noise without junction":  "record noise\n",
+		"noise bad junction":      "record noise x 1e8\n",
+		"noise zero omega":        "record noise 1 0\n",
+		"noise negative omega":    "record noise 1 -1e8\n",
+		"noise malformed omega":   "record noise 1 hz\n",
+		"noise duplicate":         "record noise 1 1e8\nrecord noise 1 2e8\n",
+		"fano without junction":   "record fano\n",
+		"fano bad junction":       "record fano x\n",
+		"fano zero window":        "record fano 1 0\n",
+		"fano negative window":    "record fano 1 -1e-9\n",
+		"fano malformed window":   "record fano 1 soon\n",
+		"fano duplicate":          "record fano 1\nrecord fano 1 1e-9\n",
+		"fano trailing fields":    "record fano 1 1e-9 2e-9\n",
+		"plain record bad suffix": "record 1 noise\n",
+	}
+	for name, dir := range cases {
+		if _, err := Parse(strings.NewReader(base + dir)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, dir)
+		}
+	}
+}

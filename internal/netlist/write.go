@@ -75,6 +75,20 @@ func (d *Deck) Format(w io.Writer) error {
 		}
 		p("\n")
 	}
+	for _, ns := range sp.NoiseJuncs {
+		p("record noise %d", ns.Junc)
+		for _, w := range ns.Omegas {
+			p(" %.17g", w)
+		}
+		p("\n")
+	}
+	for _, fs := range sp.FanoJuncs {
+		if fs.Window > 0 {
+			p("record fano %d %.17g\n", fs.Junc, fs.Window)
+		} else {
+			p("record fano %d\n", fs.Junc)
+		}
+	}
 	if len(sp.ProbeNodes) > 0 {
 		p("probe")
 		for _, n := range sp.ProbeNodes {

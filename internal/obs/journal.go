@@ -63,6 +63,11 @@ const (
 	// KindJobState is a job lifecycle transition recorded in a job lane:
 	// A the state code (see JobState*).
 	KindJobState
+	// KindNoiseWindow is a noise-accumulator counting-window closure:
+	// Junc the recorded junction, A the number of windows completed at
+	// once (1 plus any empty windows the closing event skipped), V1 the
+	// closing window's charge in units of e.
+	KindNoiseWindow
 )
 
 // Task outcome codes carried by KindTaskRun events (field B).
@@ -169,6 +174,8 @@ func (k Kind) String() string {
 		return "taskResume"
 	case KindJobState:
 		return "jobState"
+	case KindNoiseWindow:
+		return "noiseWindow"
 	}
 	return "unknown"
 }

@@ -75,6 +75,8 @@ type Observer struct {
 	pointsTotal    *Gauge
 	pointsSkipped  *Gauge
 	refineDepth    *Histogram
+	noiseEvents    *Counter
+	noiseWindows   *Counter
 
 	heatMu sync.Mutex
 	heat   []uint32
@@ -122,6 +124,8 @@ func New(cfg Config) *Observer {
 	// Refinement depths: small integers, so linear power-of-two bounds
 	// up to 128 levels cover anything a sane map asks for.
 	o.refineDepth = o.reg.Histogram("sweep.refine_depth", ExpBuckets(1, 2, 8))
+	o.noiseEvents = o.reg.Counter("noise.events")
+	o.noiseWindows = o.reg.Counter("noise.windows_closed")
 	return o
 }
 
@@ -285,6 +289,28 @@ func (o *Observer) EventTouched(n int) {
 		return
 	}
 	o.touchedHist.Observe(float64(n))
+}
+
+// NoiseEvent counts one tunnel event folded into a noise accumulator.
+func (o *Observer) NoiseEvent() {
+	if o == nil {
+		return
+	}
+	o.noiseEvents.Add(1)
+}
+
+// NoiseWindow records a counting-window closure on a recorded
+// junction: n windows completed at once (1 plus any empty windows the
+// closing event skipped over), q the closing window's charge in units
+// of e, simT the simulated time of the closing event.
+func (o *Observer) NoiseWindow(junc int, n uint64, q, simT float64) {
+	if o == nil {
+		return
+	}
+	o.noiseWindows.Add(n)
+	if o.journal != nil {
+		o.journal.Record(Event{Kind: KindNoiseWindow, Junc: int32(junc), A: int32(n), Sim: simT, V1: q, Wall: o.wall()})
+	}
 }
 
 // CinvBound publishes the solver's running truncation-error bound (volts)

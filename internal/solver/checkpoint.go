@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"semsim/internal/noise"
 )
 
 // CheckpointVersion is the current encoding version of Checkpoint.
@@ -56,6 +58,12 @@ type Checkpoint struct {
 	// simulation's probe set untouched on Restore.
 	Probes []int            `json:"probes,omitempty"`
 	Waves  map[int][]Sample `json:"waves,omitempty"`
+	// Noise carries the streaming noise-accumulator state when noise
+	// recording is enabled (EnableNoise); nil otherwise. Restore
+	// requires the presence to match the target simulation — a noise
+	// measurement must never silently resume without its accumulators,
+	// nor adopt accumulators it never had.
+	Noise *noise.State `json:"noise,omitempty"`
 }
 
 // trajectoryHash fingerprints the options that influence the simulated
@@ -123,6 +131,7 @@ func (s *Sim) Checkpoint() (*Checkpoint, error) {
 			cp.Waves[node] = append([]Sample(nil), w...)
 		}
 	}
+	cp.Noise = s.noise.State()
 	return cp, nil
 }
 
@@ -152,6 +161,20 @@ func (s *Sim) Restore(cp *Checkpoint) error {
 	if len(cp.Charge) != len(s.charge) || len(cp.EvFw) != len(s.evFw) ||
 		len(cp.EvBw) != len(s.evBw) || len(cp.EvCoop) != len(s.evCoop) {
 		return errors.New("solver: checkpoint junction counts do not match the circuit")
+	}
+	// Noise accumulators are measurement state: their presence must
+	// match in both directions, and RestoreState validates the
+	// configuration fingerprint before mutating anything — so the
+	// checks run before the simulation is touched.
+	switch {
+	case cp.Noise != nil && s.noise == nil:
+		return errors.New("solver: checkpoint carries noise-accumulator state but this simulation records no noise; call EnableNoise with the original configuration before Restore")
+	case cp.Noise == nil && s.noise != nil:
+		return errors.New("solver: this simulation records noise but the checkpoint carries no accumulator state (snapshot of a run without noise recording)")
+	case cp.Noise != nil:
+		if err := s.noise.RestoreState(cp.Noise); err != nil {
+			return err
+		}
 	}
 	if err := s.rnd.UnmarshalBinary(cp.Rng); err != nil {
 		return err

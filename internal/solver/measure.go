@@ -34,8 +34,10 @@ func (s *Sim) ElectronCount(node int) int {
 func (s *Sim) Potential(node int) float64 { return s.nodeV(node) }
 
 // ResetMeasurement zeroes the per-junction charge and event counters
-// and restarts the averaging window; call it after the warm-up
-// transient.
+// — including any attached noise accumulators — and restarts the
+// averaging window; call it after the warm-up transient. Counting
+// windows keep their (possibly auto-calibrated) widths: only the
+// accumulated statistics restart.
 func (s *Sim) ResetMeasurement() {
 	for i := range s.charge {
 		s.charge[i] = 0
@@ -44,6 +46,7 @@ func (s *Sim) ResetMeasurement() {
 		s.evCoop[i] = 0
 	}
 	s.measStart = s.t
+	s.noise.Reset(s.t)
 }
 
 // JunctionCooperEvents returns how many Cooper pairs crossed junction j

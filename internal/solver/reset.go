@@ -55,6 +55,10 @@ func (s *Sim) Reset(seed uint64, dcOverride map[int]float64) error {
 		s.evCoop[i] = 0
 	}
 	s.measStart = 0
+	// Noise accumulators clear completely — auto-calibrated window
+	// widths roll back to their configured values — so a session reused
+	// across tasks measures exactly what a freshly built one would.
+	s.noise.FullReset(0)
 	s.stats = Stats{}
 	for node := range s.waves {
 		delete(s.waves, node)

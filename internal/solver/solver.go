@@ -37,6 +37,7 @@ import (
 
 	"semsim/internal/circuit"
 	"semsim/internal/cotunnel"
+	"semsim/internal/noise"
 	"semsim/internal/numeric"
 	"semsim/internal/obs"
 	"semsim/internal/orthodox"
@@ -385,6 +386,13 @@ type Sim struct {
 	// obs mirrors Stats into a metric registry and journals events when
 	// tracing; nil (the default) makes every hook a no-op branch.
 	obs *obs.Observer
+
+	// noise is the optional streaming noise/FCS recorder (EnableNoise);
+	// nil keeps the hot path at one predictable branch per applied
+	// event. Like obs it is passive — recording never changes the
+	// trajectory — but unlike obs its accumulators are measurement
+	// state: they checkpoint, restore and reset with the simulation.
+	noise *noise.Recorder
 
 	stats Stats
 }

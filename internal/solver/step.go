@@ -680,15 +680,23 @@ func (s *Sim) apply(ci int) float64 {
 	switch kind {
 	case chCotunnel:
 		s.stats.CotunnelEvents++
-		s.charge[junc] += s.chargeSign(junc, src) * q
+		dq := s.chargeSign(junc, src) * q
+		s.charge[junc] += dq
+		s.noise.Add(junc, s.t, dq)
 		junc2 := int(s.chJunc2[ci])
-		s.charge[junc2] += s.chargeSign(junc2, int(s.chMid[ci])) * q
+		dq2 := s.chargeSign(junc2, int(s.chMid[ci])) * q
+		s.charge[junc2] += dq2
+		s.noise.Add(junc2, s.t, dq2)
 	case chCooper:
 		s.stats.CooperEvents++
 		s.evCoop[junc]++
-		s.charge[junc] += s.chargeSign(junc, src) * q
+		dq := s.chargeSign(junc, src) * q
+		s.charge[junc] += dq
+		s.noise.Add(junc, s.t, dq)
 	default:
-		s.charge[junc] += s.chargeSign(junc, src) * q
+		dq := s.chargeSign(junc, src) * q
+		s.charge[junc] += dq
+		s.noise.Add(junc, s.t, dq)
 	}
 	return dw
 }

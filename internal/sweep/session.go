@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"semsim/internal/circuit"
+	"semsim/internal/noise"
 	"semsim/internal/obs"
 	"semsim/internal/solver"
 )
@@ -55,6 +56,25 @@ func (s *Session) Close() {
 	if s != nil && s.sim != nil {
 		s.sim.Close()
 	}
+}
+
+// EnableNoise attaches a streaming noise/FCS recorder (internal/noise)
+// to the session's simulation: every subsequent RunPoint accumulates
+// counting-window cumulants and spectral sums for the configured
+// junctions, readable through NoiseStats after the point returns.
+// Recording is passive (points are bit-identical with or without it)
+// and resets with the solver on every RunPoint, so a reused session's
+// noise measurement matches a freshly built session's exactly — the
+// session-reuse regression test asserts this bit-for-bit.
+func (s *Session) EnableNoise(cfg noise.Config) error {
+	return s.sim.EnableNoise(cfg)
+}
+
+// NoiseStats reads junction j's noise statistics over the measurement
+// window of the most recent RunPoint; ok is false when j is not
+// recorded.
+func (s *Session) NoiseStats(j int) (noise.RunStats, bool) {
+	return s.sim.NoiseStats(j)
 }
 
 // RunPoint simulates one sweep point on the reused Sim. idx is the

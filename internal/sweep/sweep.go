@@ -154,6 +154,10 @@ func measurePoint(s *solver.Sim, junc int, x float64, cfg Config) (Point, error)
 		}
 		return Point{}, err
 	}
+	// Auto counting windows of an attached noise recorder calibrate
+	// from the warm-up rate, exactly as the jobs engine's warm phase
+	// does (no-op without a recorder).
+	s.AutoNoiseWindows()
 	s.ResetMeasurement()
 	if _, err := s.Run(cfg.Events, cfg.MaxTime); err != nil {
 		if err == solver.ErrBlockaded {
